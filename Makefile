@@ -1,0 +1,39 @@
+# idnlab — reproduction of "A Reexamination of Internationalized Domain
+# Names" (DSN 2018). Stdlib-only Go module.
+
+GO ?= go
+
+.PHONY: all build vet test race bench report fuzz clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One benchmark per paper table/figure plus ablations; -v includes rows.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# The full study: every table and figure at 1/100 of the paper's corpus.
+report:
+	$(GO) run ./cmd/idnreport -seed 2018 -scale 100
+
+# Short fuzz passes over the codecs.
+fuzz:
+	$(GO) test -fuzz=FuzzDecode -fuzztime=10s ./internal/punycode/
+	$(GO) test -fuzz=FuzzEncode -fuzztime=10s ./internal/punycode/
+	$(GO) test -fuzz=FuzzParse -fuzztime=10s ./internal/zonefile/
+	$(GO) test -fuzz=FuzzDecode -fuzztime=10s ./internal/dnssim/
+
+clean:
+	$(GO) clean ./...
+	rm -rf zones test_output.txt bench_output.txt

@@ -1,0 +1,226 @@
+package idnlab
+
+// The benchmark harness regenerates every table and figure in the paper's
+// evaluation. Each benchmark times one experiment end-to-end over the
+// shared scale-1/100 universe and, when run with -v, logs the rendered
+// rows so the output can be compared against the paper (see
+// EXPERIMENTS.md for the side-by-side).
+//
+//	go test -bench=. -benchmem
+//	go test -bench=BenchmarkTable13 -v   # rows included
+
+import (
+	"io"
+	"strings"
+	"sync"
+	"testing"
+
+	"idnlab/internal/core"
+	"idnlab/internal/glyph"
+	"idnlab/internal/punycode"
+	"idnlab/internal/ssim"
+	"idnlab/internal/zonegen"
+)
+
+var (
+	benchOnce  sync.Once
+	benchStudy *core.Study
+)
+
+// study lazily assembles the shared benchmark universe.
+func study(b *testing.B) *core.Study {
+	b.Helper()
+	benchOnce.Do(func() {
+		ds, err := core.NewDefaultDataset(2018, 100)
+		if err != nil {
+			panic(err)
+		}
+		benchStudy = core.NewStudy(ds)
+	})
+	return benchStudy
+}
+
+// benchSection times one report section and logs its rows once.
+func benchSection(b *testing.B, section func(io.Writer) error) {
+	st := study(b)
+	_ = st
+	var sb strings.Builder
+	if err := section(&sb); err != nil {
+		b.Fatal(err)
+	}
+	b.Log("\n" + sb.String())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := section(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1Datasets(b *testing.B)  { benchSection(b, study(b).ReportTable1) }
+func BenchmarkTable2Languages(b *testing.B) { benchSection(b, study(b).ReportTable2) }
+
+func BenchmarkFigure1CreationDates(b *testing.B) { benchSection(b, study(b).ReportFigure1) }
+
+func BenchmarkTable3Registrants(b *testing.B) { benchSection(b, study(b).ReportTable3) }
+func BenchmarkTable4Registrars(b *testing.B)  { benchSection(b, study(b).ReportTable4) }
+
+func BenchmarkFigure2ActiveTime(b *testing.B)      { benchSection(b, study(b).ReportFigure2) }
+func BenchmarkFigure3QueryVolume(b *testing.B)     { benchSection(b, study(b).ReportFigure3) }
+func BenchmarkFigure4IPConcentration(b *testing.B) { benchSection(b, study(b).ReportFigure4) }
+
+func BenchmarkTable5Usage(b *testing.B)        { benchSection(b, study(b).ReportTable5) }
+func BenchmarkTable6Certificates(b *testing.B) { benchSection(b, study(b).ReportTable6) }
+func BenchmarkTable7SharedCerts(b *testing.B)  { benchSection(b, study(b).ReportTable7) }
+
+func BenchmarkTable8FacebookHomographs(b *testing.B) { benchSection(b, study(b).ReportTable8) }
+func BenchmarkTable9SemanticExamples(b *testing.B)   { benchSection(b, study(b).ReportTable9) }
+
+func BenchmarkTable10Type2Semantic(b *testing.B)   { benchSection(b, study(b).ReportTable10) }
+func BenchmarkTable11BrowserSurvey(b *testing.B)   { benchSection(b, study(b).ReportTable11) }
+func BenchmarkTable11bPolicyEffect(b *testing.B)   { benchSection(b, study(b).ReportTable11b) }
+func BenchmarkTable12SSIMThreshold(b *testing.B)   { benchSection(b, study(b).ReportTable12) }
+func BenchmarkTable13HomographBrands(b *testing.B) { benchSection(b, study(b).ReportTable13) }
+
+func BenchmarkFigure5HomographDNS(b *testing.B)        { benchSection(b, study(b).ReportFigure5) }
+func BenchmarkFigure6UnregisteredTraffic(b *testing.B) { benchSection(b, study(b).ReportFigure6) }
+func BenchmarkFigure7Availability(b *testing.B)        { benchSection(b, study(b).ReportFigure7) }
+
+func BenchmarkFigure7bMultiSub(b *testing.B)      { benchSection(b, study(b).ReportFigure7b) }
+func BenchmarkTable14SemanticBrands(b *testing.B) { benchSection(b, study(b).ReportTable14) }
+func BenchmarkFigure8SemanticDNS(b *testing.B)    { benchSection(b, study(b).ReportFigure8) }
+
+// BenchmarkFullStudy regenerates the entire report (all tables and
+// figures) per iteration.
+func BenchmarkFullStudy(b *testing.B) {
+	st := study(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := st.Run(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGenerateUniverse measures synthesis of the calibrated registry
+// at several scales.
+func BenchmarkGenerateUniverse(b *testing.B) {
+	for _, scale := range []int{1000, 100} {
+		b.Run(scaleName(scale), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = zonegen.Generate(zonegen.Config{Seed: 1, Scale: scale})
+			}
+		})
+	}
+}
+
+func scaleName(scale int) string {
+	return "scale-1/" + strings.TrimLeft(strings.Repeat("0", 0)+itoa(scale), " ")
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// --- Ablations: the design choices DESIGN.md calls out. ---
+
+// BenchmarkAblationSSIMvsMSE compares the paper's metric choice (§VI-B:
+// "Compared to traditional similarity metrics like MSE, SSIM strikes a
+// good balance between accuracy and runtime performance").
+func BenchmarkAblationSSIMvsMSE(b *testing.B) {
+	re := glyph.NewRenderer()
+	width := len("facebook") * glyph.CellWidth
+	target := re.RenderWidth("facebook", width)
+	attack := re.RenderWidth("facebооk", width)
+	b.Run("SSIM", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := ssim.Index(target, attack); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("MSE", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := ssim.MSE(target, attack); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationPrefilter compares the skeleton-prefiltered detector
+// against the paper's brute-force pair-wise sweep (102 hours on their
+// testbed) on a fixed slice of the corpus, and fails if the prefilter
+// loses recall.
+func BenchmarkAblationPrefilter(b *testing.B) {
+	st := study(b)
+	corpus := st.DS.IDNs
+	if len(corpus) > 300 {
+		corpus = corpus[:300]
+	}
+	fast := core.NewHomographDetector(1000)
+	brute := core.NewHomographDetector(1000, core.WithoutPrefilter())
+	fastN := len(fast.Detect(corpus))
+	bruteN := len(brute.Detect(corpus))
+	if fastN < bruteN {
+		b.Fatalf("prefilter lost recall: %d vs %d", fastN, bruteN)
+	}
+	b.Logf("matches on %d-domain slice: prefilter=%d brute=%d", len(corpus), fastN, bruteN)
+	b.Run("prefilter", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = fast.Detect(corpus)
+		}
+	})
+	b.Run("bruteforce", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = brute.Detect(corpus)
+		}
+	})
+}
+
+// BenchmarkAblationWindowSize varies the SSIM sliding window.
+func BenchmarkAblationWindowSize(b *testing.B) {
+	re := glyph.NewRenderer()
+	width := len("facebook.com") * glyph.CellWidth
+	x := re.RenderWidth("facebook.com", width)
+	y := re.RenderWidth("faceboоk.com", width)
+	for _, win := range []int{4, 8, 11} {
+		b.Run("win-"+itoa(win), func(b *testing.B) {
+			c := ssim.New(win)
+			for i := 0; i < b.N; i++ {
+				if _, err := c.Index(x, y); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPunycodeByLength shows the Bootstring cost profile over label
+// lengths.
+func BenchmarkPunycodeByLength(b *testing.B) {
+	labels := map[string]string{
+		"short-cjk":  "中国",
+		"mid-cjk":    "北京交通大学",
+		"long-mixed": "Hello-Another-Way-それぞれの場所",
+	}
+	for name, label := range labels {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := punycode.Encode(label); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,85 @@
+// Command idndetect checks domains for homographic and Type-1 semantic
+// abuse against the top-1000 brand list — the paper's two detectors as a
+// standalone tool. Domains are read from arguments or stdin (one per
+// line), in either Unicode or Punycode form.
+//
+// Usage:
+//
+//	idndetect xn--pple-43d.com apple邮箱.com example.com
+//	cat suspicious.txt | idndetect -threshold 0.985
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"idnlab/internal/core"
+	"idnlab/internal/idna"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "idndetect:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		threshold = flag.Float64("threshold", core.DefaultSSIMThreshold, "SSIM detection threshold")
+		topK      = flag.Int("brands", 1000, "number of top brands to defend")
+		quiet     = flag.Bool("q", false, "print only matching domains")
+	)
+	flag.Parse()
+
+	homo := core.NewHomographDetector(*topK, core.WithThreshold(*threshold))
+	sem := core.NewSemanticDetector(*topK)
+	type2 := core.NewType2Detector(nil)
+
+	domains := flag.Args()
+	if len(domains) == 0 {
+		sc := bufio.NewScanner(os.Stdin)
+		for sc.Scan() {
+			if line := sc.Text(); line != "" {
+				domains = append(domains, line)
+			}
+		}
+		if err := sc.Err(); err != nil {
+			return err
+		}
+	}
+	if len(domains) == 0 {
+		return fmt.Errorf("no domains given (pass arguments or pipe to stdin)")
+	}
+
+	flagged := 0
+	for _, d := range domains {
+		if m, ok := homo.DetectOne(d); ok {
+			fmt.Printf("HOMOGRAPH %s\n", m)
+			flagged++
+			continue
+		}
+		if m, ok := sem.DetectOne(d); ok {
+			fmt.Printf("SEMANTIC  %s\n", m)
+			flagged++
+			continue
+		}
+		if m, ok := type2.DetectOne(d); ok {
+			fmt.Printf("TYPE2     %s\n", m)
+			flagged++
+			continue
+		}
+		if !*quiet {
+			uni, err := idna.ToUnicode(d)
+			if err != nil {
+				fmt.Printf("INVALID   %s (%v)\n", d, err)
+				continue
+			}
+			fmt.Printf("clean     %s (%s)\n", d, uni)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "%d of %d domains flagged\n", flagged, len(domains))
+	return nil
+}

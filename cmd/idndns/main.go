@@ -1,0 +1,46 @@
+// Command idndns serves the synthetic universe as a real authoritative
+// DNS server over UDP: resolvable domains answer their ground-truth A
+// records, misconfigured ones answer REFUSED, unregistered names answer
+// NXDOMAIN — a live target for testing resolvers and crawlers against
+// the study's population.
+//
+// Usage:
+//
+//	idndns -listen 127.0.0.1:5353 -scale 500 &
+//	dig @127.0.0.1 -p 5353 xn--0wwy37b.com A
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+
+	"idnlab/internal/zonegen"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "idndns:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		listen = flag.String("listen", "127.0.0.1:5353", "UDP listen address")
+		seed   = flag.Uint64("seed", 1, "generation seed")
+		scale  = flag.Int("scale", zonegen.DefaultScale, "down-scaling divisor")
+	)
+	flag.Parse()
+
+	reg := zonegen.Generate(zonegen.Config{Seed: *seed, Scale: *scale})
+	server := reg.BuildDNS()
+	conn, err := net.ListenPacket("udp", *listen)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	fmt.Printf("serving %d names on %s (ctrl-c to stop)\n", server.Len(), conn.LocalAddr())
+	return server.ServeUDP(conn)
+}

@@ -1,0 +1,91 @@
+// Command idnreport runs the complete measurement study and prints every
+// table and figure of the paper: it generates the calibrated universe,
+// scans the zones, correlates WHOIS / passive DNS / blacklists /
+// certificates / web content, runs both abuse detectors and the browser
+// survey, and renders the results.
+//
+// Usage:
+//
+//	idnreport -seed 1 -scale 100           # ≈14.7K IDNs, seconds
+//	idnreport -scale 10                    # ≈147K IDNs, minutes
+//	idnreport -only table13                # a single experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"idnlab/internal/core"
+	"idnlab/internal/zonegen"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "idnreport:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		seed     = flag.Uint64("seed", 1, "generation seed")
+		scale    = flag.Int("scale", zonegen.DefaultScale, "down-scaling divisor (1 = paper scale)")
+		only     = flag.String("only", "", "run a single experiment, e.g. table2, figure7")
+		jsonMode = flag.Bool("json", false, "emit machine-readable JSON instead of the text report")
+	)
+	flag.Parse()
+
+	fmt.Fprintf(os.Stderr, "generating universe (seed %d, scale 1/%d)...\n", *seed, *scale)
+	ds, err := core.NewDefaultDataset(*seed, *scale)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "assembled %d IDNs, %d non-IDNs\n", len(ds.IDNs), len(ds.NonIDNs))
+	st := core.NewStudy(ds)
+
+	if *jsonMode {
+		return st.WriteJSON(os.Stdout)
+	}
+	if *only == "" {
+		return st.Run(os.Stdout)
+	}
+	sections := map[string]func(io.Writer) error{
+		"findings": st.ReportFindings,
+		"table1":   st.ReportTable1,
+		"table2":   st.ReportTable2,
+		"table3":   st.ReportTable3,
+		"table4":   st.ReportTable4,
+		"table5":   st.ReportTable5,
+		"table6":   st.ReportTable6,
+		"table7":   st.ReportTable7,
+		"table8":   st.ReportTable8,
+		"table9":   st.ReportTable9,
+		"table10":  st.ReportTable10,
+		"table11":  st.ReportTable11,
+		"table11b": st.ReportTable11b,
+		"table12":  st.ReportTable12,
+		"table13":  st.ReportTable13,
+		"table14":  st.ReportTable14,
+		"figure1":  st.ReportFigure1,
+		"figure2":  st.ReportFigure2,
+		"figure3":  st.ReportFigure3,
+		"figure4":  st.ReportFigure4,
+		"figure5":  st.ReportFigure5,
+		"figure6":  st.ReportFigure6,
+		"figure7":  st.ReportFigure7,
+		"figure7b": st.ReportFigure7b,
+		"figure8":  st.ReportFigure8,
+	}
+	section, ok := sections[strings.ToLower(*only)]
+	if !ok {
+		names := make([]string, 0, len(sections))
+		for n := range sections {
+			names = append(names, n)
+		}
+		return fmt.Errorf("unknown experiment %q (available: %s)", *only, strings.Join(names, ", "))
+	}
+	return section(os.Stdout)
+}

@@ -1,0 +1,76 @@
+// Command idnscan scans zone files for internationalized domain names —
+// the paper's discovery step ("we searched substring xn-- in TLDs"). It
+// reads master-format zone files (as written by idnzonegen, or real TLD
+// snapshots) and prints per-zone SLD/IDN counts plus the decoded IDNs.
+//
+// Usage:
+//
+//	idnscan [-v] zones/com.zone zones/net.zone ...
+//	idnscan -dir zones
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"idnlab/internal/idna"
+	"idnlab/internal/zonefile"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "idnscan:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		dir     = flag.String("dir", "", "scan every *.zone file in this directory")
+		verbose = flag.Bool("v", false, "print each discovered IDN with its Unicode form")
+	)
+	flag.Parse()
+
+	paths := flag.Args()
+	if *dir != "" {
+		matches, err := filepath.Glob(filepath.Join(*dir, "*.zone"))
+		if err != nil {
+			return err
+		}
+		paths = append(paths, matches...)
+	}
+	if len(paths) == 0 {
+		return fmt.Errorf("no zone files given (pass paths or -dir)")
+	}
+	sort.Strings(paths)
+
+	var totalSLD, totalIDN int
+	for _, path := range paths {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		st, err := zonefile.ScanReader(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		totalSLD += st.SLDCount
+		totalIDN += len(st.IDNs)
+		fmt.Printf("%-24s %8d SLDs %8d IDNs\n", st.Origin, st.SLDCount, len(st.IDNs))
+		if *verbose {
+			for _, d := range st.IDNs {
+				uni, err := idna.ToUnicode(d)
+				if err != nil {
+					uni = "(decode error: " + err.Error() + ")"
+				}
+				fmt.Printf("  %-40s %s\n", d, uni)
+			}
+		}
+	}
+	fmt.Printf("%-24s %8d SLDs %8d IDNs\n", "TOTAL", totalSLD, totalIDN)
+	return nil
+}

@@ -1,0 +1,48 @@
+// Command idnweb serves the synthetic universe's web content over real
+// HTTP, routed by Host header — the live counterpart of the crawler's
+// target population. Combine with idndns for a full resolve-then-fetch
+// pipeline:
+//
+//	idnweb -listen 127.0.0.1:8080 -scale 500 &
+//	curl -H 'Host: xn--0wwy37b.com' http://127.0.0.1:8080/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"idnlab/internal/core"
+	"idnlab/internal/zonegen"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "idnweb:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		listen = flag.String("listen", "127.0.0.1:8080", "HTTP listen address")
+		seed   = flag.Uint64("seed", 1, "generation seed")
+		scale  = flag.Int("scale", zonegen.DefaultScale, "down-scaling divisor")
+	)
+	flag.Parse()
+
+	ds, err := core.NewDefaultDataset(*seed, *scale)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{
+		Addr:              *listen,
+		Handler:           core.WebHandler(ds),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	fmt.Printf("serving %d domains on http://%s/ (route by Host header; ctrl-c to stop)\n",
+		len(ds.IDNs)+len(ds.NonIDNs), *listen)
+	return srv.ListenAndServe()
+}

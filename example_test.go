@@ -1,0 +1,71 @@
+package idnlab_test
+
+import (
+	"fmt"
+
+	"idnlab"
+)
+
+// ExampleToASCII demonstrates IDNA conversion of the gambling IDN the
+// paper highlights in §IV-C.
+func ExampleToASCII() {
+	ace, err := idnlab.ToASCII("波色.com")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(ace)
+	// Output: xn--0wwy37b.com
+}
+
+// ExampleToUnicode decodes the 2017 apple.com attack domain.
+func ExampleToUnicode() {
+	uni, err := idnlab.ToUnicode("xn--pple-43d.com")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(uni)
+	// Output: аpple.com
+}
+
+// ExampleHomographDetector_DetectOne flags the Cyrillic-а apple.com
+// homograph.
+func ExampleHomographDetector_DetectOne() {
+	det := idnlab.NewHomographDetector(1000)
+	m, ok := det.DetectOne("xn--pple-43d.com")
+	fmt.Println(ok, m.Brand, m.SSIM)
+	// Output: true apple.com 1
+}
+
+// ExampleSemanticDetector_DetectOne flags a Type-1 brand+keyword IDN
+// (the paper's Table IX example).
+func ExampleSemanticDetector_DetectOne() {
+	det := idnlab.NewSemanticDetector(1000)
+	m, ok := det.DetectOne("apple邮箱.com")
+	fmt.Println(ok, m.Domain, m.Brand)
+	// Output: true xn--apple-rq8mk98i.com apple.com
+}
+
+// ExampleType2Detector_DetectOne flags the paper's Table X translated
+// brand.
+func ExampleType2Detector_DetectOne() {
+	det := idnlab.NewType2Detector(nil)
+	m, ok := det.DetectOne("格力空调.net")
+	fmt.Println(ok, m.Domain, m.Brand)
+	// Output: true xn--tfr361cl2mbrq.net gree.com
+}
+
+// ExampleEncodeLabel shows raw RFC 3492 Bootstring encoding.
+func ExampleEncodeLabel() {
+	enc, err := idnlab.EncodeLabel("中国")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(enc)
+	// Output: fiqs8s
+}
+
+// ExampleIsIDN is the zone-scan predicate over both name forms.
+func ExampleIsIDN() {
+	fmt.Println(idnlab.IsIDN("xn--0wwy37b.com"), idnlab.IsIDN("波色.com"), idnlab.IsIDN("example.com"))
+	// Output: true true false
+}

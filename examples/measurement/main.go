@@ -1,0 +1,79 @@
+// Measurement: an end-to-end small-scale run of the full study — the
+// paper's pipeline from zone scan to abuse detection — printing the key
+// findings rather than every table (use cmd/idnreport for the complete
+// reproduction).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"idnlab"
+	"idnlab/internal/core"
+	"idnlab/internal/stats"
+	"idnlab/internal/webprobe"
+)
+
+func main() {
+	// Generate and assemble at 1/500 of the paper's corpus (≈3K IDNs).
+	ds, err := idnlab.NewDataset(42, 500)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("corpus: %d IDNs, %d sampled non-IDNs across %d TLD groups\n\n",
+		len(ds.IDNs), len(ds.NonIDNs), len(ds.PerTLD))
+
+	study := idnlab.NewStudy(ds)
+
+	// Finding 1: language distribution.
+	rows := ds.LanguageBreakdown(study.Classifier)
+	eastAsian := 0.0
+	for _, r := range rows {
+		if r.Language.EastAsian() {
+			eastAsian += r.Rate
+		}
+	}
+	fmt.Printf("Finding 1: %s of IDNs are in east-Asian languages (top: %v at %s)\n",
+		stats.Percent(eastAsian), rows[0].Language, stats.Percent(rows[0].Rate))
+
+	// Findings 5/6: DNS activity gaps.
+	idnActive := stats.NewECDF(ds.ActiveTimeSeries(core.PopulationIDN, "com"))
+	nonActive := stats.NewECDF(ds.ActiveTimeSeries(core.PopulationNonIDN, "com"))
+	fmt.Printf("Finding 5: P(active < 100 days) IDN %s vs non-IDN %s\n",
+		stats.Percent(idnActive.At(100)), stats.Percent(nonActive.At(100)))
+
+	// Finding 8: content usage.
+	idnUse := ds.UsageSample(core.PopulationIDN, 500, 1)
+	nonUse := ds.UsageSample(core.PopulationNonIDN, 500, 1)
+	fmt.Printf("Finding 8: meaningful content IDN %s vs non-IDN %s; IDN not-resolved %s\n",
+		stats.Percent(idnUse.Rate(webprobe.Meaningful)),
+		stats.Percent(nonUse.Rate(webprobe.Meaningful)),
+		stats.Percent(idnUse.Rate(webprobe.NotResolved)))
+
+	// Finding 9: certificates.
+	certs := ds.CertCensus(core.PopulationIDN)
+	fmt.Printf("Finding 9: %s of the %d served IDN certificates have problems\n",
+		stats.Percent(certs.ProblemRate()), certs.Total)
+
+	// Abuse detection.
+	homo := study.Homograph.Detect(ds.IDNs)
+	sem := study.Semantic.Detect(ds.IDNs)
+	fmt.Printf("\nDetectors: %d homographic IDNs, %d Type-1 semantic IDNs registered\n",
+		len(homo), len(sem))
+	for i, m := range homo {
+		if i >= 5 {
+			break
+		}
+		fmt.Println("  ", m)
+	}
+
+	// Availability: how much attack space remains open.
+	avail := study.Homograph.AvailabilityStudy(50, ds.IDNs)
+	cand, confusable := 0, 0
+	for _, r := range avail {
+		cand += r.Candidates
+		confusable += r.Homographic
+	}
+	fmt.Printf("\nAvailability (top-50 brands): %d candidates, %d homographic, most unregistered\n",
+		cand, confusable)
+}

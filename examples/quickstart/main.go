@@ -1,0 +1,55 @@
+// Quickstart: encode and decode IDNs, render them as a browser address
+// bar would, and check a few domains for homograph and semantic abuse —
+// the library's core capabilities in one page.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"idnlab"
+)
+
+func main() {
+	// 1. IDNA conversion: the Punycode layer built from RFC 3492.
+	for _, domain := range []string{"波色.com", "中国", "bücher.de", "аpple.com"} {
+		ace, err := idnlab.ToASCII(domain)
+		if err != nil {
+			log.Fatalf("ToASCII(%q): %v", domain, err)
+		}
+		back, err := idnlab.ToUnicode(ace)
+		if err != nil {
+			log.Fatalf("ToUnicode(%q): %v", ace, err)
+		}
+		fmt.Printf("%-12s -> %-22s -> %s\n", domain, ace, back)
+	}
+	fmt.Println()
+
+	// 2. Homograph detection: is this domain visually impersonating a
+	// top-1000 brand? The detector renders both names with the built-in
+	// pixel typeface and compares them with SSIM (paper §VI-B).
+	det := idnlab.NewHomographDetector(1000)
+	suspects := []string{
+		"xn--pple-43d.com",  // аpple.com — the 2017 Chrome attack
+		"xn--ggle-55da.com", // gооgle.com with Cyrillic о's
+		"ѕоѕо.com",          // whole-script confusable, bypasses Firefox
+		"xn--0wwy37b.com",   // 波色.com — a real IDN, but no homograph
+		"example.com",
+	}
+	for _, s := range suspects {
+		if m, ok := det.DetectOne(s); ok {
+			fmt.Println("homograph:", m)
+		} else {
+			fmt.Println("clean:    ", s)
+		}
+	}
+	fmt.Println()
+
+	// 3. Semantic (Type-1) detection: brand + foreign keyword (§VII).
+	sem := idnlab.NewSemanticDetector(1000)
+	for _, s := range []string{"apple邮箱.com", "58汽车.com", "icloud登录.com"} {
+		if m, ok := sem.DetectOne(s); ok {
+			fmt.Println("semantic: ", m)
+		}
+	}
+}

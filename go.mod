@@ -1,0 +1,3 @@
+module idnlab
+
+go 1.22

@@ -1,0 +1,106 @@
+package idnlab
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFacadeIDNARoundTrip(t *testing.T) {
+	ace, err := ToASCII("波色.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ace != "xn--0wwy37b.com" {
+		t.Errorf("ToASCII = %q", ace)
+	}
+	uni, err := ToUnicode(ace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uni != "波色.com" {
+		t.Errorf("ToUnicode = %q", uni)
+	}
+	if !IsIDN(ace) || IsIDN("example.com") {
+		t.Error("IsIDN wrong")
+	}
+}
+
+func TestFacadePunycode(t *testing.T) {
+	enc, err := EncodeLabel("中国")
+	if err != nil || enc != "fiqs8s" {
+		t.Errorf("EncodeLabel = %q, %v", enc, err)
+	}
+	dec, err := DecodeLabel("fiqs8s")
+	if err != nil || dec != "中国" {
+		t.Errorf("DecodeLabel = %q, %v", dec, err)
+	}
+}
+
+func TestFacadeDetectors(t *testing.T) {
+	det := NewHomographDetector(1000)
+	m, ok := det.DetectOne("xn--pple-43d.com")
+	if !ok || m.Brand != "apple.com" {
+		t.Errorf("homograph: %v %v", m, ok)
+	}
+	sem := NewSemanticDetector(1000)
+	sm, ok := sem.DetectOne("apple邮箱.com")
+	if !ok || sm.Brand != "apple.com" || sm.Keyword != "邮箱" {
+		t.Errorf("semantic: %v %v", sm, ok)
+	}
+}
+
+func TestFacadeEndToEnd(t *testing.T) {
+	ds, err := NewDataset(3, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	study := NewStudy(ds)
+	var sb strings.Builder
+	if err := study.Run(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "TABLE XIII") {
+		t.Error("study output incomplete")
+	}
+}
+
+func TestFacadeBrowserSurvey(t *testing.T) {
+	profiles := BrowserSurvey()
+	if len(profiles) != 27 {
+		t.Fatalf("profiles = %d", len(profiles))
+	}
+	vulnerable := 0
+	for _, p := range profiles {
+		if EvaluateBrowser(p) == "Vulnerable" {
+			vulnerable++
+		}
+	}
+	if vulnerable != 1 {
+		t.Errorf("vulnerable browsers = %d, want 1 (Sogou PC)", vulnerable)
+	}
+}
+
+func TestFacadeGenerateAssemble(t *testing.T) {
+	reg := Generate(GenConfig{Seed: 9, Scale: 2000})
+	if len(reg.Domains) == 0 {
+		t.Fatal("empty registry")
+	}
+	ds, err := Assemble(reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.IDNs) == 0 {
+		t.Fatal("no IDNs assembled")
+	}
+}
+
+func TestFacadeDetectorOptions(t *testing.T) {
+	det := NewHomographDetector(100, WithThreshold(0.999))
+	if det.Threshold() != 0.999 {
+		t.Errorf("Threshold = %v", det.Threshold())
+	}
+	bf := NewHomographDetector(100, WithoutPrefilter()) // apple.com is rank 55
+	if m, ok := bf.DetectOne("xn--pple-43d.com"); !ok || m.Brand != "apple.com" {
+		t.Errorf("brute force: %v %v", m, ok)
+	}
+}

@@ -1,0 +1,122 @@
+package blacklist
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFeedBasics(t *testing.T) {
+	f := NewFeed(FeedVirusTotal)
+	if f.Name() != "VirusTotal" {
+		t.Errorf("Name = %q", f.Name())
+	}
+	if f.Len() != 0 || f.Contains("a.com") {
+		t.Error("empty feed should contain nothing")
+	}
+	f.Add("xn--0wwy37b.com")
+	if !f.Contains("xn--0wwy37b.com") {
+		t.Error("Contains failed")
+	}
+	if !f.Contains("XN--0WWY37B.COM") {
+		t.Error("Contains should fold case")
+	}
+	f.Add("XN--0WWY37B.COM")
+	if f.Len() != 1 {
+		t.Error("case-folded duplicate should not grow the feed")
+	}
+}
+
+func TestAggregateUnion(t *testing.T) {
+	vt := NewFeed(FeedVirusTotal)
+	q := NewFeed(Feed360)
+	bd := NewFeed(FeedBaidu)
+	vt.Add("a.com")
+	vt.Add("b.com")
+	q.Add("b.com")
+	q.Add("c.com")
+	bd.Add("d.com")
+	agg := NewAggregate(vt, q, bd)
+
+	for _, d := range []string{"a.com", "b.com", "c.com", "d.com"} {
+		if !agg.IsMalicious(d) {
+			t.Errorf("IsMalicious(%s) = false", d)
+		}
+	}
+	if agg.IsMalicious("clean.com") {
+		t.Error("clean domain flagged")
+	}
+	union := agg.Union()
+	if len(union) != 4 {
+		t.Errorf("union = %v", union)
+	}
+	if agg.UnionLen() != 4 {
+		t.Errorf("UnionLen = %d", agg.UnionLen())
+	}
+	for i := 1; i < len(union); i++ {
+		if union[i-1] >= union[i] {
+			t.Fatal("union not sorted")
+		}
+	}
+}
+
+func TestFlaggedBy(t *testing.T) {
+	vt := NewFeed(FeedVirusTotal)
+	q := NewFeed(Feed360)
+	vt.Add("both.com")
+	q.Add("both.com")
+	q.Add("only360.com")
+	agg := NewAggregate(vt, q)
+	if got := agg.FlaggedBy("both.com"); len(got) != 2 || got[0] != "VirusTotal" || got[1] != "360" {
+		t.Errorf("FlaggedBy(both.com) = %v", got)
+	}
+	if got := agg.FlaggedBy("only360.com"); len(got) != 1 || got[0] != "360" {
+		t.Errorf("FlaggedBy(only360.com) = %v", got)
+	}
+	if got := agg.FlaggedBy("clean.com"); got != nil {
+		t.Errorf("FlaggedBy(clean.com) = %v", got)
+	}
+}
+
+func TestUnionNeverSmallerThanLargestFeed(t *testing.T) {
+	f := func(as, bs []uint16) bool {
+		fa, fb := NewFeed("a"), NewFeed("b")
+		for _, v := range as {
+			fa.Add("d" + string(rune('a'+v%26)) + ".com")
+		}
+		for _, v := range bs {
+			fb.Add("d" + string(rune('a'+v%26)) + ".com")
+		}
+		agg := NewAggregate(fa, fb)
+		u := agg.UnionLen()
+		max := fa.Len()
+		if fb.Len() > max {
+			max = fb.Len()
+		}
+		return u >= max && u <= fa.Len()+fb.Len()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFeedsAccessorCopies(t *testing.T) {
+	vt := NewFeed(FeedVirusTotal)
+	agg := NewAggregate(vt)
+	fs := agg.Feeds()
+	fs[0] = nil // must not corrupt the aggregate
+	if agg.Feeds()[0] == nil {
+		t.Error("Feeds() exposed internal slice")
+	}
+}
+
+func BenchmarkIsMalicious(b *testing.B) {
+	vt := NewFeed(FeedVirusTotal)
+	for i := 0; i < 5000; i++ {
+		vt.Add("domain" + string(rune('a'+i%26)) + string(rune('a'+(i/26)%26)) + ".com")
+	}
+	agg := NewAggregate(vt, NewFeed(Feed360), NewFeed(FeedBaidu))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = agg.IsMalicious("domainzz.com")
+	}
+}

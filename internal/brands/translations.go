@@ -1,0 +1,31 @@
+package brands
+
+// Translations maps brand domains to native-language names an attacker
+// could register as Type-2 semantic IDNs (paper Table X: 格力空调.net for
+// Gree, 奔驰汽车.com for Mercedes-Benz, 北京交通大学.com for Beijing
+// Jiaotong University). The entries cover the paper's examples plus
+// translated names of the major top-1000 brands. A production deployment
+// would source this from brand owners, as the CNNIC brand-protection
+// service the paper cites does.
+var Translations = map[string][]string{
+	"gree.com":      {"格力空调", "格力电器", "格力"},
+	"google.com":    {"谷歌", "谷歌搜索", "구글"},
+	"apple.com":     {"苹果", "苹果公司", "애플", "アップル"},
+	"amazon.com":    {"亚马逊", "アマゾン", "아마존"},
+	"microsoft.com": {"微软", "마이크로소프트"},
+	"facebook.com":  {"脸书", "페이스북"},
+	"youtube.com":   {"油管", "유튜브"},
+	"twitter.com":   {"推特", "트위터"},
+	"baidu.com":     {"百度搜索", "바이두"},
+	"taobao.com":    {"淘宝", "淘宝网"},
+	"alipay.com":    {"支付宝"},
+	"weibo.com":     {"新浪微博"},
+	"netflix.com":   {"奈飞", "넷플릭스"},
+	"spotify.com":   {"声田"},
+	"paypal.com":    {"贝宝"},
+	"ebay.com":      {"易贝"},
+	"qq.com":        {"腾讯", "腾讯网"},
+	"china.com":     {"中华网"},
+	"dropbox.com":   {"多宝箱"},
+	"linkedin.com":  {"领英"},
+}

@@ -1,0 +1,108 @@
+package browser
+
+import (
+	"idnlab/internal/confusables"
+	"idnlab/internal/idna"
+)
+
+// Policy effectiveness evaluation — an extension of Table XI. The paper
+// concludes that "policies based on the diversity of character sets are
+// not enough to prevent IDN abuse" (§VIII); this harness quantifies that:
+// each display policy is run against a generated homograph corpus and a
+// legitimate-IDN corpus, yielding its block rate and its collateral
+// damage on genuine internationalized names.
+
+// Effectiveness summarizes one policy's performance.
+type Effectiveness struct {
+	// Policy under evaluation.
+	Policy Policy
+	// AttackCorpus and LegitCorpus are the evaluated population sizes.
+	AttackCorpus int
+	LegitCorpus  int
+	// Blocked is the number of attack domains rendered in Punycode (the
+	// user sees the xn-- form and is not deceived).
+	Blocked int
+	// Collateral is the number of legitimate IDNs rendered in Punycode
+	// (genuine users lose their native-script display).
+	Collateral int
+}
+
+// BlockRate returns the fraction of attacks neutralized.
+func (e Effectiveness) BlockRate() float64 {
+	if e.AttackCorpus == 0 {
+		return 0
+	}
+	return float64(e.Blocked) / float64(e.AttackCorpus)
+}
+
+// CollateralRate returns the fraction of legitimate IDNs degraded.
+func (e Effectiveness) CollateralRate() float64 {
+	if e.LegitCorpus == 0 {
+		return 0
+	}
+	return float64(e.Collateral) / float64(e.LegitCorpus)
+}
+
+// AttackCorpus generates homographic attack labels for the given brand
+// labels: every single-substitution confusable variant.
+func AttackCorpus(brandLabels []string) []string {
+	tab := confusables.Default()
+	var out []string
+	for _, label := range brandLabels {
+		out = append(out, tab.Variants(label)...)
+	}
+	return out
+}
+
+// LegitimateCorpus is a fixed set of genuine IDN labels across the
+// scripts the paper's corpus covers, used to measure collateral damage.
+var LegitimateCorpus = []string{
+	"中国", "波色", "娱乐城", "商城", "北京",
+	"日本語", "ひらがな", "アニメ",
+	"한국어", "쇼핑몰",
+	"ไทยแลนด์",
+	"почта", "пример", "новости",
+	"bücher", "größe", "münchen",
+	"château", "société",
+	"señor", "educación",
+	"alışveriş", "türkçe",
+	"مرحبا",
+}
+
+// EvaluatePolicy measures one policy against the two corpora.
+func EvaluatePolicy(p Policy, attacks, legit []string) Effectiveness {
+	e := Effectiveness{Policy: p, AttackCorpus: len(attacks), LegitCorpus: len(legit)}
+	for _, label := range attacks {
+		if r := DisplayLabel(p, label); r == RenderPunycode {
+			e.Blocked++
+		}
+	}
+	for _, label := range legit {
+		if r := DisplayLabel(p, label); r == RenderPunycode {
+			e.Collateral++
+		}
+	}
+	return e
+}
+
+// EvaluateAllPolicies runs the effectiveness harness over every policy
+// with an attack corpus built from the given brand labels.
+func EvaluateAllPolicies(brandLabels []string) []Effectiveness {
+	attacks := AttackCorpus(brandLabels)
+	// Only keep attack labels that are real IDNs (encodable, non-ASCII).
+	valid := attacks[:0]
+	for _, a := range attacks {
+		if _, err := idna.ToASCIILabel(a); err == nil {
+			valid = append(valid, a)
+		}
+	}
+	policies := []Policy{
+		PolicyAlwaysUnicode, PolicySingleScript, PolicyRestricted,
+		PolicyAlwaysPunycode, PolicyAlert,
+	}
+	out := make([]Effectiveness, 0, len(policies))
+	for _, p := range policies {
+		out = append(out, EvaluatePolicy(p, valid, LegitimateCorpus))
+	}
+	return out
+}

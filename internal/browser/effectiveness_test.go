@@ -1,0 +1,97 @@
+package browser
+
+import (
+	"testing"
+)
+
+var effBrands = []string{"google", "facebook", "apple", "amazon", "paypal"}
+
+func TestEvaluateAllPoliciesOrdering(t *testing.T) {
+	results := EvaluateAllPolicies(effBrands)
+	byPolicy := make(map[Policy]Effectiveness, len(results))
+	for _, e := range results {
+		byPolicy[e.Policy] = e
+	}
+
+	// Block-rate ordering: always-unicode blocks nothing; single-script
+	// blocks most mixed-script attacks; restricted blocks strictly more
+	// (whole-script confusables too); always-punycode blocks everything.
+	au := byPolicy[PolicyAlwaysUnicode]
+	ss := byPolicy[PolicySingleScript]
+	re := byPolicy[PolicyRestricted]
+	ap := byPolicy[PolicyAlwaysPunycode]
+	al := byPolicy[PolicyAlert]
+
+	if au.BlockRate() != 0 {
+		t.Errorf("always-unicode block rate = %v", au.BlockRate())
+	}
+	if !(ss.BlockRate() > au.BlockRate()) {
+		t.Error("single-script should beat always-unicode")
+	}
+	if !(re.BlockRate() >= ss.BlockRate()) {
+		t.Errorf("restricted (%v) should be at least single-script (%v)",
+			re.BlockRate(), ss.BlockRate())
+	}
+	if ap.BlockRate() != 1 {
+		t.Errorf("always-punycode block rate = %v", ap.BlockRate())
+	}
+	// The paper's §VIII point: even the restricted policy does not reach
+	// 100% without breaking legitimate IDNs... but single-substitution
+	// Latin-diacritic attacks are all single-script Latin, which both
+	// script policies display. Verify the gap exists.
+	if ss.BlockRate() > 0.9 {
+		t.Errorf("single-script blocks %v of attacks; diacritic attacks should slip through",
+			ss.BlockRate())
+	}
+
+	// Collateral: script-based policies must not break legitimate IDNs;
+	// always-punycode breaks all of them (the IETF objection).
+	if ss.CollateralRate() != 0 {
+		t.Errorf("single-script collateral = %v", ss.CollateralRate())
+	}
+	if re.CollateralRate() != 0 {
+		t.Errorf("restricted collateral = %v", re.CollateralRate())
+	}
+	if ap.CollateralRate() != 1 {
+		t.Errorf("always-punycode collateral = %v", ap.CollateralRate())
+	}
+	if al.BlockRate() != 0 {
+		// Alert renders Unicode (with a warning), so nothing is
+		// "blocked" in the display sense.
+		t.Errorf("alert block rate = %v", al.BlockRate())
+	}
+}
+
+func TestAttackCorpusNonEmpty(t *testing.T) {
+	corpus := AttackCorpus(effBrands)
+	if len(corpus) < 100 {
+		t.Fatalf("attack corpus only %d labels", len(corpus))
+	}
+	for _, a := range corpus[:20] {
+		ascii := true
+		for _, r := range a {
+			if r >= 0x80 {
+				ascii = false
+			}
+		}
+		if ascii {
+			t.Errorf("attack label %q is pure ASCII", a)
+		}
+	}
+}
+
+func TestLegitimateCorpusAllDisplayUnderRestricted(t *testing.T) {
+	// Sanity anchor for the collateral metric: every legitimate label
+	// must render in Unicode under the restricted policy.
+	for _, label := range LegitimateCorpus {
+		if got := DisplayLabel(PolicyRestricted, label); got != RenderUnicode {
+			t.Errorf("legitimate %q renders %v under restricted policy", label, got)
+		}
+	}
+}
+
+func BenchmarkEvaluateAllPolicies(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = EvaluateAllPolicies(effBrands)
+	}
+}

@@ -1,0 +1,153 @@
+// Package browser implements IDN display policies and the browser-survey
+// matrix of the paper's Table XI.
+//
+// Browsers decide, per label, whether to show an IDN in Unicode or in its
+// Punycode form. The policies implemented here are the real algorithms the
+// paper surveyed: always-Unicode (the vulnerable Sogou PC behaviour),
+// Mozilla's single-script display algorithm (bypassable by whole-script
+// confusables such as "ѕоѕо"), Chrome's restricted variant with a
+// whole-script-confusable check, always-Punycode, and IE 11's alerting
+// behaviour. Package-level profiles encode the ten browsers on three
+// platforms exactly as Table XI reports them, and Evaluate reproduces the
+// table's outcome cells from the policies.
+package browser
+
+import (
+	"strings"
+
+	"idnlab/internal/confusables"
+	"idnlab/internal/idna"
+	"idnlab/internal/uniscript"
+)
+
+// Policy is an IDN display algorithm.
+type Policy int
+
+// Policies surveyed by the paper.
+const (
+	// PolicyAlwaysUnicode displays every IDN in Unicode. Vulnerable to
+	// any homograph.
+	PolicyAlwaysUnicode Policy = iota + 1
+	// PolicySingleScript displays Unicode iff every label's code points
+	// come from one script plus Common/Inherited — Mozilla's IDN display
+	// algorithm.
+	PolicySingleScript
+	// PolicyRestricted is single-script plus a whole-script-confusable
+	// check: a non-Latin label whose confusable skeleton is pure ASCII
+	// and differs from the label itself is shown as Punycode — Chrome's
+	// post-2017 policy.
+	PolicyRestricted
+	// PolicyAlwaysPunycode never displays Unicode.
+	PolicyAlwaysPunycode
+	// PolicyAlert displays Unicode but raises a user-visible warning for
+	// labels with non-ASCII characters — the IE 11 behaviour the paper
+	// recommends.
+	PolicyAlert
+)
+
+var policyNames = map[Policy]string{
+	PolicyAlwaysUnicode:  "always-unicode",
+	PolicySingleScript:   "single-script",
+	PolicyRestricted:     "restricted",
+	PolicyAlwaysPunycode: "always-punycode",
+	PolicyAlert:          "alert",
+}
+
+// String names the policy.
+func (p Policy) String() string {
+	if n, ok := policyNames[p]; ok {
+		return n
+	}
+	return "unknown"
+}
+
+// Rendering is how an address bar presents a domain.
+type Rendering int
+
+// Rendering outcomes.
+const (
+	// RenderUnicode shows the Unicode form.
+	RenderUnicode Rendering = iota + 1
+	// RenderPunycode shows the ACE form.
+	RenderPunycode
+	// RenderUnicodeWithAlert shows Unicode plus a security warning.
+	RenderUnicodeWithAlert
+)
+
+// DisplayLabel decides the rendering of one Unicode label under a policy.
+func DisplayLabel(p Policy, label string) Rendering {
+	a := uniscript.Analyze(label)
+	if a.ASCIIOnly {
+		return RenderUnicode
+	}
+	switch p {
+	case PolicyAlwaysUnicode:
+		return RenderUnicode
+	case PolicyAlwaysPunycode:
+		return RenderPunycode
+	case PolicyAlert:
+		return RenderUnicodeWithAlert
+	case PolicySingleScript:
+		if a.SingleScript() {
+			return RenderUnicode
+		}
+		return RenderPunycode
+	case PolicyRestricted:
+		if !a.SingleScript() {
+			return RenderPunycode
+		}
+		if wholeScriptConfusable(label, a) {
+			return RenderPunycode
+		}
+		return RenderUnicode
+	}
+	return RenderPunycode
+}
+
+// wholeScriptConfusable reports whether a single-script non-Latin label
+// folds entirely to an ASCII skeleton different from itself — Chrome's
+// check that catches "ѕоѕо" even though it is single-script.
+func wholeScriptConfusable(label string, a uniscript.Analysis) bool {
+	if a.Dominant() == uniscript.Latin {
+		return false
+	}
+	skel := confusables.Default().Skeleton(label)
+	if skel == label {
+		return false
+	}
+	for _, r := range skel {
+		if r >= 0x80 {
+			return false
+		}
+	}
+	return true
+}
+
+// DisplayDomain renders a whole Unicode-form domain: if any label renders
+// as Punycode, the entire domain is shown in ACE form (matching shipping
+// browser behaviour); an alert on any label alerts the domain.
+func DisplayDomain(p Policy, domain string) (shown string, r Rendering) {
+	labels := strings.Split(strings.TrimSuffix(domain, "."), ".")
+	worst := RenderUnicode
+	for _, label := range labels {
+		switch DisplayLabel(p, label) {
+		case RenderPunycode:
+			worst = RenderPunycode
+		case RenderUnicodeWithAlert:
+			if worst == RenderUnicode {
+				worst = RenderUnicodeWithAlert
+			}
+		}
+	}
+	switch worst {
+	case RenderPunycode:
+		ace, err := idna.ToASCII(domain)
+		if err != nil {
+			// Undisplayable and unencodable: show the raw input escaped.
+			return domain, RenderPunycode
+		}
+		return ace, RenderPunycode
+	default:
+		return domain, worst
+	}
+}

@@ -1,0 +1,234 @@
+package certs
+
+import (
+	"testing"
+	"time"
+)
+
+var testNow = time.Date(2017, 10, 1, 0, 0, 0, 0, time.UTC)
+
+func newTestAuthority(t *testing.T) *Authority {
+	t.Helper()
+	a, err := NewAuthority(42, testNow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestValidCertificateClassifiesNone(t *testing.T) {
+	a := newTestAuthority(t)
+	cert, err := a.Issue("xn--0wwy37b.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Classify(cert, "xn--0wwy37b.com", testNow, a.Roots()); got != ProblemNone {
+		t.Errorf("Classify = %v, want None", got)
+	}
+}
+
+func TestExpiredCertificate(t *testing.T) {
+	a := newTestAuthority(t)
+	cert, err := a.Issue("old.com", Expired())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Classify(cert, "old.com", testNow, a.Roots()); got != ProblemExpired {
+		t.Errorf("Classify = %v, want Expired", got)
+	}
+	// The same certificate was valid six months before the snapshot.
+	past := testNow.AddDate(0, -6, 0)
+	if got := Classify(cert, "old.com", past, a.Roots()); got != ProblemNone {
+		t.Errorf("Classify at %v = %v, want None", past, got)
+	}
+}
+
+func TestSelfSignedCertificate(t *testing.T) {
+	a := newTestAuthority(t)
+	cert, err := a.Issue("selfie.net", SelfSigned())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Classify(cert, "selfie.net", testNow, a.Roots()); got != ProblemInvalidAuthority {
+		t.Errorf("Classify = %v, want InvalidAuthority", got)
+	}
+}
+
+func TestSharedCertificate(t *testing.T) {
+	a := newTestAuthority(t)
+	cert, err := a.Issue("sedoparking.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Classify(cert, "xn--parked.com", testNow, a.Roots()); got != ProblemInvalidCommonName {
+		t.Errorf("Classify = %v, want InvalidCommonName", got)
+	}
+	// Served for its own name it is fine.
+	if got := Classify(cert, "sedoparking.com", testNow, a.Roots()); got != ProblemNone {
+		t.Errorf("Classify own name = %v, want None", got)
+	}
+}
+
+func TestExpiryTakesPriorityOverName(t *testing.T) {
+	// Table VI categories are mutually exclusive; expired wins.
+	a := newTestAuthority(t)
+	cert, err := a.Issue("cafe24.com", Expired())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Classify(cert, "other.com", testNow, a.Roots()); got != ProblemExpired {
+		t.Errorf("Classify = %v, want Expired to dominate", got)
+	}
+}
+
+func TestStoreCensus(t *testing.T) {
+	a := newTestAuthority(t)
+	s := NewStore()
+	valid, err := a.Issue("good.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	expired, err := a.Issue("exp.com", Expired())
+	if err != nil {
+		t.Fatal(err)
+	}
+	self, err := a.Issue("self.com", SelfSigned())
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared, err := a.Issue("sedoparking.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Deploy("good.com", valid)
+	s.Deploy("exp.com", expired)
+	s.Deploy("self.com", self)
+	s.Deploy("park1.com", shared)
+	s.Deploy("park2.com", shared)
+	s.Deploy("park3.com", shared)
+
+	census := s.Classify(testNow, a.Roots())
+	if census.Total != 6 {
+		t.Fatalf("Total = %d", census.Total)
+	}
+	if census.Valid != 1 || census.Expired != 1 || census.InvalidAuthority != 1 || census.InvalidCommonName != 3 {
+		t.Errorf("census = %+v", census)
+	}
+	wantRate := 5.0 / 6.0
+	if got := census.ProblemRate(); got != wantRate {
+		t.Errorf("ProblemRate = %v, want %v", got, wantRate)
+	}
+}
+
+func TestTopSharedCNs(t *testing.T) {
+	a := newTestAuthority(t)
+	s := NewStore()
+	sedo, err := a.Issue("sedoparking.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cafe, err := a.Issue("cafe24.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		s.Deploy("parked"+string(rune('a'+i))+".com", sedo)
+	}
+	for i := 0; i < 2; i++ {
+		s.Deploy("hosted"+string(rune('a'+i))+".com", cafe)
+	}
+	s.Deploy("cafe24.com", cafe) // own domain: not shared
+
+	top := s.TopSharedCNs(10)
+	if len(top) != 2 {
+		t.Fatalf("top = %+v", top)
+	}
+	if top[0].CommonName != "sedoparking.com" || top[0].Count != 5 {
+		t.Errorf("top[0] = %+v", top[0])
+	}
+	if top[1].CommonName != "cafe24.com" || top[1].Count != 2 {
+		t.Errorf("top[1] = %+v", top[1])
+	}
+}
+
+func TestDeterministicIssuance(t *testing.T) {
+	a1, err := NewAuthority(7, testNow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := NewAuthority(7, testNow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, err := a1.Issue("same.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := a2.Issue("same.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Signature bytes are hedged by crypto/ecdsa and may differ, but the
+	// measurement-relevant fields must be reproducible across runs.
+	if c1.Subject.CommonName != c2.Subject.CommonName ||
+		!c1.NotBefore.Equal(c2.NotBefore) || !c1.NotAfter.Equal(c2.NotAfter) ||
+		c1.SerialNumber.Cmp(c2.SerialNumber) != 0 {
+		t.Error("same seed should produce identical certificate fields")
+	}
+	if Classify(c1, "same.com", testNow, a1.Roots()) != Classify(c2, "same.com", testNow, a2.Roots()) {
+		t.Error("classification must be deterministic across authorities")
+	}
+}
+
+func TestStoreGetAndLen(t *testing.T) {
+	a := newTestAuthority(t)
+	s := NewStore()
+	cert, err := a.Issue("x.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Deploy("X.COM", cert)
+	if s.Len() != 1 {
+		t.Fatal("Len wrong")
+	}
+	if _, ok := s.Get("x.com"); !ok {
+		t.Error("Get should fold case")
+	}
+}
+
+func TestProblemString(t *testing.T) {
+	if ProblemExpired.String() != "Expired Certificate" {
+		t.Error("String wrong")
+	}
+	if Problem(99).String() != "Unknown" {
+		t.Error("unknown problem should say Unknown")
+	}
+}
+
+func BenchmarkIssue(b *testing.B) {
+	a, err := NewAuthority(1, testNow)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.Issue("bench.com"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkClassify(b *testing.B) {
+	a, err := NewAuthority(1, testNow)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cert, err := a.Issue("bench.com")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Classify(cert, "bench.com", testNow, a.Roots())
+	}
+}

@@ -1,0 +1,339 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"idnlab/internal/brands"
+	"idnlab/internal/confusables"
+	"idnlab/internal/glyph"
+	"idnlab/internal/idna"
+	"idnlab/internal/ssim"
+)
+
+// DefaultSSIMThreshold is the detection threshold in this renderer's SSIM
+// space. The paper used 0.95 with its anti-aliased rendering; with our
+// pixel typeface, single-diacritic homographs score ≥0.985 and unrelated
+// single-letter swaps fall at 0.96-0.98 (see the Table XII reproduction),
+// so 0.98 cuts the band at the same semantic point the paper's 0.95 did.
+const DefaultSSIMThreshold = 0.98
+
+// HomographMatch is one detected homographic IDN.
+type HomographMatch struct {
+	// Domain is the IDN in ACE form.
+	Domain string `json:"domain"`
+	// Unicode is the display form.
+	Unicode string `json:"unicode"`
+	// Brand is the impersonated brand domain.
+	Brand string `json:"brand"`
+	// SSIM is the maximum structural-similarity index against the brand
+	// set; 1.0 means a pixel-identical rendering.
+	SSIM float64
+}
+
+// HomographDetector finds registered IDNs that render visually similar to
+// brand domains (§VI-B). It is safe for sequential reuse; not for
+// concurrent use (the renderer caches glyphs).
+type HomographDetector struct {
+	threshold float64
+	prefilter bool
+	renderer  *glyph.Renderer
+	cmp       *ssim.Comparator
+	table     *confusables.Table
+	// brandsByLabel indexes brands by SLD label for the skeleton
+	// prefilter; brandsByLen by label rune-length for brute force.
+	brandsByLabel map[string]brands.Brand
+	brandList     []brands.Brand
+}
+
+// HomographOption configures the detector.
+type HomographOption func(*HomographDetector)
+
+// WithThreshold overrides the SSIM detection threshold.
+func WithThreshold(t float64) HomographOption {
+	return func(d *HomographDetector) { d.threshold = t }
+}
+
+// WithoutPrefilter disables the confusable-skeleton prefilter and compares
+// every IDN against every brand pair-wise — the paper's brute-force mode
+// (102 hours on their corpus). Used by the ablation benchmark.
+func WithoutPrefilter() HomographOption {
+	return func(d *HomographDetector) { d.prefilter = false }
+}
+
+// NewHomographDetector builds a detector over the top-k brand list.
+func NewHomographDetector(topK int, opts ...HomographOption) *HomographDetector {
+	d := &HomographDetector{
+		threshold:     DefaultSSIMThreshold,
+		prefilter:     true,
+		renderer:      glyph.NewRenderer(),
+		cmp:           ssim.New(ssim.DefaultWindow),
+		table:         confusables.Default(),
+		brandsByLabel: make(map[string]brands.Brand, topK),
+	}
+	for _, o := range opts {
+		o(d)
+	}
+	d.brandList = brands.TopK(topK)
+	for _, b := range d.brandList {
+		if _, dup := d.brandsByLabel[b.Label()]; !dup {
+			d.brandsByLabel[b.Label()] = b
+		}
+	}
+	return d
+}
+
+// Threshold returns the active SSIM threshold.
+func (d *HomographDetector) Threshold() float64 { return d.threshold }
+
+// Score computes the SSIM between an IDN label and a brand label, rendered
+// at the brand's width.
+func (d *HomographDetector) Score(label, brandLabel string) float64 {
+	width := len([]rune(brandLabel)) * glyph.CellWidth
+	a := d.renderer.RenderWidth(brandLabel, width)
+	b := d.renderer.RenderWidth(label, width)
+	v, err := d.cmp.Index(a, b)
+	if err != nil {
+		return -1
+	}
+	return v
+}
+
+// DetectOne checks a single domain (ACE or Unicode form) against the brand
+// set and returns the best match at or above the threshold.
+func (d *HomographDetector) DetectOne(domain string) (HomographMatch, bool) {
+	uni, err := idna.ToUnicode(domain)
+	if err != nil {
+		return HomographMatch{}, false
+	}
+	label := idna.SLDLabel(uni)
+	if isASCII(label) {
+		return HomographMatch{}, false // homographs need non-ASCII content
+	}
+	ace, err := idna.ToASCII(uni)
+	if err != nil {
+		return HomographMatch{}, false
+	}
+	best := HomographMatch{Domain: ace, Unicode: uni, SSIM: -1}
+	if d.prefilter {
+		skel := d.table.Skeleton(label)
+		b, ok := d.brandsByLabel[skel]
+		if !ok || !isASCII(skel) {
+			return HomographMatch{}, false
+		}
+		if score := d.Score(label, b.Label()); score >= d.threshold {
+			best.Brand = b.Domain
+			best.SSIM = score
+			return best, true
+		}
+		return HomographMatch{}, false
+	}
+	labelLen := len([]rune(label))
+	for _, b := range d.brandList {
+		// Pair-wise over all brands, skipping only wildly different
+		// lengths (SSIM over padded images cannot reach the threshold
+		// with more than one cell of length difference).
+		if diff := labelLen - len([]rune(b.Label())); diff > 1 || diff < -1 {
+			continue
+		}
+		if score := d.Score(label, b.Label()); score > best.SSIM {
+			best.SSIM = score
+			best.Brand = b.Domain
+		}
+	}
+	if best.SSIM >= d.threshold {
+		return best, true
+	}
+	return HomographMatch{}, false
+}
+
+// Detect scans a domain corpus and returns all homographic matches, sorted
+// by brand then domain.
+func (d *HomographDetector) Detect(domains []string) []HomographMatch {
+	var out []HomographMatch
+	for _, domain := range domains {
+		if m, ok := d.DetectOne(domain); ok {
+			out = append(out, m)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Brand != out[j].Brand {
+			return out[i].Brand < out[j].Brand
+		}
+		return out[i].Domain < out[j].Domain
+	})
+	return out
+}
+
+func isASCII(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] >= 0x80 {
+			return false
+		}
+	}
+	return true
+}
+
+// SemanticMatch is one detected Type-1 semantic IDN.
+type SemanticMatch struct {
+	// Domain is the IDN in ACE form.
+	Domain string `json:"domain"`
+	// Unicode is the display form.
+	Unicode string `json:"unicode"`
+	// Brand is the brand whose label the ASCII residue equals.
+	Brand string `json:"brand"`
+	// Keyword is the non-ASCII remainder of the label.
+	Keyword string
+}
+
+// SemanticDetector finds Type-1 semantic IDNs: labels whose ASCII residue
+// is identical to a brand label after removing all non-ASCII characters
+// (§VII-A: the paper selects IDNs whose ASCII-only part renders with SSIM
+// exactly 1.0 against a brand — string identity under a shared renderer).
+type SemanticDetector struct {
+	brandsByLabel map[string]brands.Brand
+}
+
+// NewSemanticDetector builds a detector over the top-k brand list.
+func NewSemanticDetector(topK int) *SemanticDetector {
+	d := &SemanticDetector{brandsByLabel: make(map[string]brands.Brand, topK)}
+	for _, b := range brands.TopK(topK) {
+		if _, dup := d.brandsByLabel[b.Label()]; !dup {
+			d.brandsByLabel[b.Label()] = b
+		}
+	}
+	return d
+}
+
+// DetectOne checks one domain for Type-1 semantic abuse.
+func (d *SemanticDetector) DetectOne(domain string) (SemanticMatch, bool) {
+	uni, err := idna.ToUnicode(domain)
+	if err != nil {
+		return SemanticMatch{}, false
+	}
+	label := idna.SLDLabel(uni)
+	var residue, keyword strings.Builder
+	for _, r := range label {
+		if r < 0x80 {
+			residue.WriteRune(r)
+		} else {
+			keyword.WriteRune(r)
+		}
+	}
+	if keyword.Len() == 0 || residue.Len() == 0 {
+		return SemanticMatch{}, false
+	}
+	b, ok := d.brandsByLabel[residue.String()]
+	if !ok {
+		return SemanticMatch{}, false
+	}
+	ace, err := idna.ToASCII(uni)
+	if err != nil {
+		return SemanticMatch{}, false
+	}
+	return SemanticMatch{Domain: ace, Unicode: uni, Brand: b.Domain, Keyword: keyword.String()}, true
+}
+
+// Detect scans a corpus for Type-1 semantic IDNs.
+func (d *SemanticDetector) Detect(domains []string) []SemanticMatch {
+	var out []SemanticMatch
+	for _, domain := range domains {
+		if m, ok := d.DetectOne(domain); ok {
+			out = append(out, m)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Brand != out[j].Brand {
+			return out[i].Brand < out[j].Brand
+		}
+		return out[i].Domain < out[j].Domain
+	})
+	return out
+}
+
+// BrandRanking aggregates detected matches per brand — the shape of
+// Tables XIII and XIV.
+type BrandRanking struct {
+	Brand string `json:"brand"`
+	Count int
+}
+
+// RankBrands counts matches per brand, descending.
+func RankBrands[T any](matches []T, brandOf func(T) string) []BrandRanking {
+	counts := make(map[string]int)
+	for _, m := range matches {
+		counts[brandOf(m)]++
+	}
+	out := make([]BrandRanking, 0, len(counts))
+	for b, n := range counts {
+		out = append(out, BrandRanking{Brand: b, Count: n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Brand < out[j].Brand
+	})
+	return out
+}
+
+// AvailabilityResult summarizes the §VI-D availability study for one
+// brand.
+type AvailabilityResult struct {
+	Brand       string
+	Candidates  int // single-substitution variants generated
+	Homographic int // variants scoring at or above the threshold
+	Registered  int // homographic variants already in the corpus
+}
+
+// GenerationOverlapThreshold is the ink-overlap bound for the loose
+// candidate-generation table used by the availability study. It is
+// deliberately below the detection table's threshold so the generated
+// space includes weak lookalikes that SSIM then filters out — matching the
+// paper's 42,671-of-128,432 survivor ratio under UC-SimList.
+const GenerationOverlapThreshold = 0.60
+
+// AvailabilityStudy generates the single-substitution candidate space for
+// the top-k brands, scores it with SSIM, and checks registration against
+// the corpus — Figures 6 and 7. registered must be the sorted IDN corpus.
+func (d *HomographDetector) AvailabilityStudy(topK int, registered []string) []AvailabilityResult {
+	regSet := make(map[string]struct{}, len(registered))
+	for _, r := range registered {
+		regSet[r] = struct{}{}
+	}
+	genTable := confusables.BuildMulti(GenerationOverlapThreshold)
+	var out []AvailabilityResult
+	for _, b := range brands.TopK(topK) {
+		label := b.Label()
+		res := AvailabilityResult{Brand: b.Domain}
+		for _, v := range genTable.Variants(label) {
+			res.Candidates++
+			if d.Score(v, label) < d.threshold {
+				continue
+			}
+			res.Homographic++
+			ace, err := idna.ToASCIILabel(v)
+			if err != nil {
+				continue
+			}
+			for _, tld := range []string{"com", "net", "org"} {
+				if _, ok := regSet[ace+"."+tld]; ok {
+					res.Registered++
+				}
+			}
+		}
+		out = append(out, res)
+	}
+	return out
+}
+
+// String renders a match for logs and examples.
+func (m HomographMatch) String() string {
+	return fmt.Sprintf("%s (%s) ~ %s [SSIM %.3f]", m.Unicode, m.Domain, m.Brand, m.SSIM)
+}
+
+// String renders a semantic match.
+func (m SemanticMatch) String() string {
+	return fmt.Sprintf("%s (%s) = %s + %q", m.Unicode, m.Domain, m.Brand, m.Keyword)
+}

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"idnlab/internal/pdns"
+)
+
+// TestFarsightQuotaWorkflow reproduces the paper's §III constraint: the
+// Farsight feed allows only a thousand look-ups per day, so the authors
+// "only requested DNS logs of abusive IDNs detected by our system". This
+// test runs that exact workflow: detect first, then spend the quota on
+// the detected subset — and shows the quota would not survive the full
+// corpus.
+func TestFarsightQuotaWorkflow(t *testing.T) {
+	const dailyQuota = 1000
+	clock := func() time.Time { return testDS.Registry.Cfg.Snapshot }
+	client := pdns.NewLimitedClient(testDS.PDNS, dailyQuota, clock)
+
+	// The full corpus exceeds the daily quota by an order of magnitude.
+	if len(testDS.IDNs) <= dailyQuota {
+		t.Fatalf("corpus %d unexpectedly small", len(testDS.IDNs))
+	}
+
+	// Detect the abusive subsets first (the system's role), then query.
+	homo := NewHomographDetector(1000).Detect(testDS.IDNs)
+	sem := NewSemanticDetector(1000).Detect(testDS.IDNs)
+	abusive := make([]string, 0, len(homo)+len(sem))
+	for _, m := range homo {
+		abusive = append(abusive, m.Domain)
+	}
+	for _, m := range sem {
+		abusive = append(abusive, m.Domain)
+	}
+	if len(abusive) == 0 || len(abusive) > dailyQuota {
+		t.Fatalf("abusive subset = %d, expected small and within quota", len(abusive))
+	}
+	hits := 0
+	for _, d := range abusive {
+		if _, ok, err := client.Lookup(d); err != nil {
+			t.Fatalf("quota exhausted mid-subset: %v", err)
+		} else if ok {
+			hits++
+		}
+	}
+	if hits != len(abusive) {
+		t.Errorf("passive DNS covered %d/%d abusive IDNs", hits, len(abusive))
+	}
+
+	// Trying to continue over the whole corpus hits the quota wall.
+	var quotaErr error
+	for _, d := range testDS.IDNs {
+		if _, _, err := client.Lookup(d); err != nil {
+			quotaErr = err
+			break
+		}
+	}
+	if !errors.Is(quotaErr, pdns.ErrQuotaExceeded) {
+		t.Errorf("expected quota exhaustion, got %v", quotaErr)
+	}
+}

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestComputeFindingsShape(t *testing.T) {
+	st := NewStudy(testDS)
+	f := st.ComputeFindings()
+
+	checks := []struct {
+		name      string
+		got, want float64
+		tolerance float64
+	}{
+		{"east-asian share", f.EastAsianShare, 0.77, 0.08},
+		{"pre-2008 share", f.Pre2008Share, 0.0616, 0.03},
+		{"top-10 registrar share", f.Top10RegShare, 0.55, 0.10},
+		{"IDN short-lived", f.IDNShortLived, 0.60, 0.15},
+		{"non-IDN short-lived", f.NonIDNShortLived, 0.40, 0.15},
+		{"IDN low traffic", f.IDNLowTraffic, 0.88, 0.10},
+		{"non-IDN low traffic", f.NonIDNLowTraffic, 0.74, 0.10},
+		{"meaningful rate", f.MeaningfulRate, 0.198, 0.08},
+		{"not-resolved rate", f.NotResolvedRate, 0.456, 0.10},
+		{"cert problem rate", f.CertProblemRate, 0.9795, 0.05},
+	}
+	for _, c := range checks {
+		if math.Abs(c.got-c.want) > c.tolerance {
+			t.Errorf("%s = %.4f, want %.4f ± %.2f", c.name, c.got, c.want, c.tolerance)
+		}
+	}
+	// Directional relations, which must hold regardless of tolerance.
+	if f.IDNShortLived <= f.NonIDNShortLived {
+		t.Error("finding 5 direction violated")
+	}
+	if f.IDNLowTraffic <= f.NonIDNLowTraffic {
+		t.Error("finding 6 direction violated")
+	}
+	if f.Registrars < 150 {
+		t.Errorf("registrars = %d", f.Registrars)
+	}
+	if f.OpportunisticCount == 0 {
+		t.Error("no opportunistic registrations found")
+	}
+	if f.TopSegmentShare <= 0 || f.TopSegmentShare > 1 {
+		t.Errorf("segment share = %v", f.TopSegmentShare)
+	}
+}
+
+func TestReportFindingsRenders(t *testing.T) {
+	st := NewStudy(testDS)
+	var sb strings.Builder
+	if err := st.ReportFindings(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for i := 1; i <= 9; i++ {
+		if !strings.Contains(out, string(rune('0'+i))+". ") {
+			t.Errorf("finding %d missing:\n%s", i, out)
+		}
+	}
+}

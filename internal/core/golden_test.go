@@ -1,0 +1,58 @@
+package core
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"idnlab/internal/zonegen"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestReportGolden pins the byte-exact full report for a small fixed
+// universe. Any change to generation, detection or rendering shows up as
+// a diff here; regenerate deliberately with `go test -run Golden -update`.
+func TestReportGolden(t *testing.T) {
+	reg := zonegen.Generate(zonegen.Config{Seed: 7, Scale: 2000})
+	ds, err := Assemble(reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := NewStudy(ds).Run(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+
+	path := filepath.Join("testdata", "report_seed7_scale2000.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden updated (%d bytes)", len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if got == string(want) {
+		return
+	}
+	// Point at the first differing line for a readable failure.
+	gotLines := strings.Split(got, "\n")
+	wantLines := strings.Split(string(want), "\n")
+	for i := 0; i < len(gotLines) && i < len(wantLines); i++ {
+		if gotLines[i] != wantLines[i] {
+			t.Fatalf("report diverges from golden at line %d:\n got: %q\nwant: %q",
+				i+1, gotLines[i], wantLines[i])
+		}
+	}
+	t.Fatalf("report length changed: %d vs %d lines", len(gotLines), len(wantLines))
+}

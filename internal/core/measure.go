@@ -1,0 +1,379 @@
+package core
+
+import (
+	"sort"
+	"strings"
+
+	"idnlab/internal/certs"
+	"idnlab/internal/idna"
+	"idnlab/internal/langid"
+	"idnlab/internal/pdns"
+	"idnlab/internal/stats"
+	"idnlab/internal/webprobe"
+	"idnlab/internal/whois"
+)
+
+// LanguageRow is one row of the Table II reproduction.
+type LanguageRow struct {
+	Language    langid.Language `json:"language"`
+	Count       int             `json:"count"`
+	Rate        float64         `json:"rate"`
+	Blacklisted int             `json:"blacklisted"`
+	BlackRate   float64
+}
+
+// LanguageBreakdown classifies every IDN's second-level label and returns
+// the Table II rows sorted by overall volume descending. English and
+// unclassified labels are grouped into langid.Other.
+func (ds *Dataset) LanguageBreakdown(classifier *langid.Classifier) []LanguageRow {
+	counts := make(map[langid.Language]int)
+	blackCounts := make(map[langid.Language]int)
+	total, blackTotal := 0, 0
+	for _, d := range ds.IDNs {
+		uni, err := idna.ToUnicode(d)
+		if err != nil {
+			continue
+		}
+		lang := classifier.Classify(idna.SLDLabel(uni))
+		if lang == langid.English {
+			lang = langid.Other
+		}
+		counts[lang]++
+		total++
+		if ds.Blacklists.IsMalicious(d) {
+			blackCounts[lang]++
+			blackTotal++
+		}
+	}
+	out := make([]LanguageRow, 0, len(counts))
+	for lang, n := range counts {
+		row := LanguageRow{Language: lang, Count: n, Blacklisted: blackCounts[lang]}
+		if total > 0 {
+			row.Rate = float64(n) / float64(total)
+		}
+		if blackTotal > 0 {
+			row.BlackRate = float64(blackCounts[lang]) / float64(blackTotal)
+		}
+		out = append(out, row)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Language < out[j].Language
+	})
+	return out
+}
+
+// CreationTimeline returns the Figure 1 histograms: IDN registrations per
+// creation year, overall and blacklisted, from WHOIS records.
+func (ds *Dataset) CreationTimeline() (all, malicious stats.Histogram) {
+	all = make(stats.Histogram)
+	malicious = make(stats.Histogram)
+	for _, d := range ds.IDNs {
+		rec, ok := ds.WHOIS.Get(d)
+		if !ok || rec.Created.IsZero() {
+			continue
+		}
+		y := rec.Created.Year()
+		all[y]++
+		if ds.Blacklists.IsMalicious(d) {
+			malicious[y]++
+		}
+	}
+	return all, malicious
+}
+
+// idnWHOIS builds a WHOIS sub-store restricted to the IDN corpus, the
+// population Tables III and IV rank.
+func (ds *Dataset) idnWHOIS() *whois.Store {
+	sub := whois.NewStore()
+	for _, d := range ds.IDNs {
+		if rec, ok := ds.WHOIS.Get(d); ok {
+			sub.Put(rec)
+		}
+	}
+	return sub
+}
+
+// TopRegistrants returns the Table III ranking: registrant emails by IDN
+// count.
+func (ds *Dataset) TopRegistrants(k int) []whois.GroupCount {
+	return ds.idnWHOIS().TopRegistrantEmails(k)
+}
+
+// TopRegistrars returns the Table IV ranking: registrars by IDN count,
+// plus the share of the WHOIS-covered population each holds.
+func (ds *Dataset) TopRegistrars(k int) ([]whois.GroupCount, int) {
+	sub := ds.idnWHOIS()
+	return sub.TopRegistrars(k), sub.Len()
+}
+
+// RegistrarCount returns the number of distinct registrars in the IDN
+// corpus (paper: over 700).
+func (ds *Dataset) RegistrarCount() int {
+	return ds.idnWHOIS().RegistrarCount()
+}
+
+// Population selects a comparison population for the DNS-activity figures.
+type Population int
+
+// Populations of Figures 2 and 3.
+const (
+	PopulationIDN Population = iota + 1
+	PopulationNonIDN
+	PopulationMalicious
+)
+
+// populationDomains materializes a population's domain list.
+func (ds *Dataset) populationDomains(p Population) []string {
+	switch p {
+	case PopulationIDN:
+		return ds.IDNs
+	case PopulationNonIDN:
+		return ds.NonIDNs
+	case PopulationMalicious:
+		return ds.MaliciousIDNs()
+	}
+	return nil
+}
+
+// ActiveTimeSeries returns the Figure 2 series for a population,
+// optionally restricted to one TLD ("" for all).
+func (ds *Dataset) ActiveTimeSeries(p Population, tld string) []float64 {
+	return ds.PDNS.ActiveDaysOf(filterTLD(ds.populationDomains(p), tld))
+}
+
+// QueryVolumeSeries returns the Figure 3 series for a population.
+func (ds *Dataset) QueryVolumeSeries(p Population, tld string) []float64 {
+	return ds.PDNS.QueriesOf(filterTLD(ds.populationDomains(p), tld))
+}
+
+func filterTLD(domains []string, tld string) []string {
+	if tld == "" {
+		return domains
+	}
+	var out []string
+	for _, d := range domains {
+		got := idna.TLD(d)
+		if got == tld || (tld == "itld" && idna.IsACELabel(got)) {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// IPConcentration aggregates the IDN corpus's resolved addresses into /24
+// segments and returns the Figure 4 statistics: segment sizes sorted
+// descending plus the cumulative-share curve.
+type IPConcentration struct {
+	Segments   []pdns.SegmentStat
+	TotalIPs   int
+	Cumulative []float64
+}
+
+// IPConcentrationStats computes Figure 4 over the IDN population.
+func (ds *Dataset) IPConcentrationStats() IPConcentration {
+	ipsPerSeg := make(map[string]map[string]struct{})
+	domainsPerSeg := make(map[string]map[string]struct{})
+	allIPs := make(map[string]struct{})
+	for _, d := range ds.IDNs {
+		e, ok := ds.PDNS.Get(d)
+		if !ok {
+			continue
+		}
+		for _, ip := range e.IPs {
+			seg := pdns.Slash24(ip)
+			if ipsPerSeg[seg] == nil {
+				ipsPerSeg[seg] = make(map[string]struct{})
+				domainsPerSeg[seg] = make(map[string]struct{})
+			}
+			ipsPerSeg[seg][ip] = struct{}{}
+			domainsPerSeg[seg][d] = struct{}{}
+			allIPs[ip] = struct{}{}
+		}
+	}
+	out := IPConcentration{TotalIPs: len(allIPs)}
+	for seg, ds2 := range domainsPerSeg {
+		out.Segments = append(out.Segments, pdns.SegmentStat{
+			Segment: seg, Domains: len(ds2), IPs: len(ipsPerSeg[seg]),
+		})
+	}
+	sort.Slice(out.Segments, func(i, j int) bool {
+		if out.Segments[i].Domains != out.Segments[j].Domains {
+			return out.Segments[i].Domains > out.Segments[j].Domains
+		}
+		return out.Segments[i].Segment < out.Segments[j].Segment
+	})
+	counts := make([]int, len(out.Segments))
+	for i, s := range out.Segments {
+		counts[i] = s.Domains
+	}
+	out.Cumulative = stats.CumulativeShare(counts)
+	return out
+}
+
+// UsageSample crawls a deterministic sample of a population and classifies
+// the responses — the Table V methodology (stratified sampling + manual
+// classification, here automated).
+func (ds *Dataset) UsageSample(p Population, sampleSize int, seed uint64) webprobe.Census {
+	domains := ds.populationDomains(p)
+	census := make(webprobe.Census)
+	if len(domains) == 0 || sampleSize <= 0 {
+		return census
+	}
+	// Deterministic stride sample over the sorted population.
+	stride := len(domains) / sampleSize
+	if stride < 1 {
+		stride = 1
+	}
+	offset := int(seed) % stride
+	taken := 0
+	for i := offset; i < len(domains) && taken < sampleSize; i += stride {
+		resp := ds.Probe(domains[i])
+		census[webprobe.Classify(resp)]++
+		taken++
+	}
+	return census
+}
+
+// CertCensus classifies the certificates served by a population — the
+// Table VI reproduction. Domains without a certificate are skipped (the
+// paper's denominators are downloaded certificates).
+func (ds *Dataset) CertCensus(p Population) CertReport {
+	var rep CertReport
+	now := ds.Registry.Cfg.Snapshot
+	roots := ds.Authority.Roots()
+	for _, d := range ds.populationDomains(p) {
+		cert, ok := ds.Certs.Get(d)
+		if !ok {
+			continue
+		}
+		rep.Total++
+		switch certs.Classify(cert, d, now, roots) {
+		case certs.ProblemNone:
+			rep.Valid++
+		case certs.ProblemExpired:
+			rep.Expired++
+		case certs.ProblemInvalidAuthority:
+			rep.InvalidAuthority++
+		case certs.ProblemInvalidCommonName:
+			rep.InvalidCommonName++
+		}
+	}
+	return rep
+}
+
+// CertReport is the Table VI row set for one population.
+type CertReport struct {
+	Total             int
+	Valid             int
+	Expired           int
+	InvalidAuthority  int
+	InvalidCommonName int
+}
+
+// ProblemRate is the fraction of certificates with any problem (the
+// paper's ">97%" headline).
+func (r CertReport) ProblemRate() float64 {
+	if r.Total == 0 {
+		return 0
+	}
+	return float64(r.Total-r.Valid) / float64(r.Total)
+}
+
+// SharedCertificates ranks the common names of certificates shared across
+// the IDN population — Table VII.
+func (ds *Dataset) SharedCertificates(k int) []SharedCN {
+	counts := make(map[string]int)
+	for _, d := range ds.IDNs {
+		cert, ok := ds.Certs.Get(d)
+		if !ok {
+			continue
+		}
+		if cert.VerifyHostname(d) != nil {
+			counts[cert.Subject.CommonName]++
+		}
+	}
+	out := make([]SharedCN, 0, len(counts))
+	for cn, n := range counts {
+		out = append(out, SharedCN{CommonName: cn, Count: n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].CommonName < out[j].CommonName
+	})
+	if k >= 0 && k < len(out) {
+		out = out[:k]
+	}
+	return out
+}
+
+// SharedCN is a Table VII row.
+type SharedCN struct {
+	CommonName string
+	Count      int
+}
+
+// RegistrantProfile classifies the WHOIS registrant of a detected abuse
+// domain, per the paper's §VI-C analysis: 73 of 1,111 homographs with
+// WHOIS were registered by brand owners (protective), 171 under personal
+// email addresses, and the rest behind WHOIS privacy.
+type RegistrantProfile int
+
+// Registrant categories.
+const (
+	RegistrantUnknown RegistrantProfile = iota
+	RegistrantProtective
+	RegistrantPersonal
+	RegistrantPrivacy
+)
+
+// ClassifyRegistrant inspects the WHOIS record of a detected abuse domain
+// against its impersonated brand. ok is false when WHOIS has no coverage.
+func (ds *Dataset) ClassifyRegistrant(domain, brand string) (RegistrantProfile, bool) {
+	rec, covered := ds.WHOIS.Get(domain)
+	if !covered {
+		return RegistrantUnknown, false
+	}
+	switch {
+	case rec.Privacy || rec.RegistrantEmail == "":
+		return RegistrantPrivacy, true
+	case strings.HasSuffix(rec.RegistrantEmail, "@"+brand):
+		return RegistrantProtective, true
+	default:
+		return RegistrantPersonal, true
+	}
+}
+
+// RegistrantBreakdown aggregates registrant profiles over detected abuse
+// domains, given each domain's impersonated brand.
+type RegistrantBreakdown struct {
+	WithWHOIS  int
+	Protective int
+	Personal   int
+	Privacy    int
+}
+
+// BreakdownRegistrants runs ClassifyRegistrant over a match set.
+func BreakdownRegistrants(ds *Dataset, domains, brandOf []string) RegistrantBreakdown {
+	var out RegistrantBreakdown
+	for i, d := range domains {
+		profile, ok := ds.ClassifyRegistrant(d, brandOf[i])
+		if !ok {
+			continue
+		}
+		out.WithWHOIS++
+		switch profile {
+		case RegistrantProtective:
+			out.Protective++
+		case RegistrantPersonal:
+			out.Personal++
+		case RegistrantPrivacy:
+			out.Privacy++
+		}
+	}
+	return out
+}

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestDetectParallelMatchesSequential(t *testing.T) {
+	corpus := testDS.IDNs
+	cfg := DetectorConfig{TopK: 1000}
+	seq := NewHomographDetector(cfg.TopK).Detect(corpus)
+	for _, workers := range []int{1, 2, 4, 7} {
+		par := DetectParallel(cfg, corpus, workers)
+		if !reflect.DeepEqual(seq, par) {
+			t.Errorf("workers=%d: parallel result differs (%d vs %d matches)",
+				workers, len(par), len(seq))
+		}
+	}
+}
+
+func TestDetectParallelEdgeCases(t *testing.T) {
+	cfg := DetectorConfig{TopK: 100}
+	if got := DetectParallel(cfg, nil, 4); len(got) != 0 {
+		t.Errorf("empty corpus: %v", got)
+	}
+	one := []string{"xn--pple-43d.com"}
+	got := DetectParallel(cfg, one, 8)
+	if len(got) != 1 || got[0].Brand != "apple.com" {
+		t.Errorf("single domain: %v", got)
+	}
+	// Zero workers selects GOMAXPROCS.
+	if got := DetectParallel(cfg, one, 0); len(got) != 1 {
+		t.Errorf("auto workers: %v", got)
+	}
+}
+
+func TestDetectParallelWithOptions(t *testing.T) {
+	cfg := DetectorConfig{TopK: 1000, Options: []HomographOption{WithThreshold(0.999)}}
+	par := DetectParallel(cfg, testDS.IDNs, 4)
+	for _, m := range par {
+		if m.SSIM < 0.999 {
+			t.Errorf("threshold not applied: %v", m)
+		}
+	}
+}
+
+func BenchmarkDetectParallel(b *testing.B) {
+	corpus := testDS.IDNs
+	for _, workers := range []int{1, 4} {
+		name := "workers-1"
+		if workers == 4 {
+			name = "workers-4"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := DetectorConfig{TopK: 1000}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = DetectParallel(cfg, corpus, workers)
+			}
+		})
+	}
+}

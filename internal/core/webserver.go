@@ -1,0 +1,80 @@
+package core
+
+import (
+	"net/http"
+
+	"idnlab/internal/webprobe"
+)
+
+// WebHandler exposes the universe's web content over real HTTP: each
+// domain's homepage is served by Host header, exactly what a crawler
+// fetching http://<domain>/ would receive. Unregistered or unresolvable
+// hosts get 502 (the upstream resolution failed), matching how a fetch
+// through a resolving proxy surfaces DNS failure.
+func WebHandler(ds *Dataset) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		host := r.Host
+		if i := indexByte(host, ':'); i >= 0 {
+			host = host[:i]
+		}
+		resp := ds.Probe(host)
+		if !resp.Resolved {
+			// A crawler going through a resolving proxy sees the DNS
+			// failure as a gateway error with the resolver's rcode.
+			w.Header().Set("X-Resolve-Error", "REFUSED")
+			http.Error(w, "upstream name resolution failed", http.StatusBadGateway)
+			return
+		}
+		if resp.StatusCode >= 300 && resp.StatusCode < 400 {
+			w.Header().Set("Location", resp.Location)
+			w.WriteHeader(resp.StatusCode)
+			return
+		}
+		if resp.ServerCN != "" {
+			w.Header().Set("X-Served-With-Certificate", resp.ServerCN)
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		w.WriteHeader(resp.StatusCode)
+		_, _ = w.Write([]byte(resp.Body))
+	})
+}
+
+func indexByte(s string, b byte) int {
+	for i := 0; i < len(s); i++ {
+		if s[i] == b {
+			return i
+		}
+	}
+	return -1
+}
+
+// CrawlHTTP fetches one domain through an http.Client pointed at a server
+// running WebHandler, and classifies the response with the same content
+// classifier used on direct probes. baseURL addresses the server (e.g. an
+// httptest.Server.URL); the domain travels in the Host header.
+func CrawlHTTP(client *http.Client, baseURL, domain string) (webprobe.State, error) {
+	req, err := http.NewRequest(http.MethodGet, baseURL+"/", nil)
+	if err != nil {
+		return 0, err
+	}
+	req.Host = domain
+	httpResp, err := client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer httpResp.Body.Close()
+
+	if httpResp.Header.Get("X-Resolve-Error") != "" {
+		return webprobe.NotResolved, nil
+	}
+	resp := webprobe.Response{
+		Resolved:   true,
+		StatusCode: httpResp.StatusCode,
+		Location:   httpResp.Header.Get("Location"),
+		ServerCN:   httpResp.Header.Get("X-Served-With-Certificate"),
+	}
+	buf := make([]byte, 64*1024)
+	n, _ := httpResp.Body.Read(buf)
+	resp.Body = string(buf[:n])
+	return webprobe.Classify(resp), nil
+}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"idnlab/internal/webprobe"
+)
+
+// noRedirectClient keeps 3xx responses observable (redirect targets are
+// external and must not be followed during classification).
+func noRedirectClient() *http.Client {
+	return &http.Client{
+		CheckRedirect: func(*http.Request, []*http.Request) error {
+			return http.ErrUseLastResponse
+		},
+	}
+}
+
+func TestCrawlHTTPMatchesDirectProbe(t *testing.T) {
+	srv := httptest.NewServer(WebHandler(testDS))
+	defer srv.Close()
+	client := noRedirectClient()
+
+	checked := 0
+	for _, d := range testDS.IDNs {
+		if checked >= 300 {
+			break
+		}
+		checked++
+		viaHTTP, err := CrawlHTTP(client, srv.URL, d)
+		if err != nil {
+			t.Fatalf("%s: %v", d, err)
+		}
+		direct := webprobe.Classify(testDS.Probe(d))
+		if viaHTTP != direct {
+			t.Errorf("%s: HTTP crawl classified %v, direct probe %v", d, viaHTTP, direct)
+		}
+	}
+}
+
+func TestCrawlHTTPUnregistered(t *testing.T) {
+	srv := httptest.NewServer(WebHandler(testDS))
+	defer srv.Close()
+	state, err := CrawlHTTP(noRedirectClient(), srv.URL, "unregistered-host.example")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if state != webprobe.NotResolved {
+		t.Errorf("state = %v, want NotResolved", state)
+	}
+}
+
+func TestWebHandlerParkedCertHeader(t *testing.T) {
+	// Find a parked domain with a shared certificate and confirm the
+	// serving CN surfaces over HTTP, coupling Table V to Table VII.
+	srv := httptest.NewServer(WebHandler(testDS))
+	defer srv.Close()
+	client := noRedirectClient()
+	reg := testDS.Registry
+	for i := range reg.Domains {
+		d := &reg.Domains[i]
+		if d.Hosting != webprobe.Parked || d.SharedCN == "" {
+			continue
+		}
+		req, err := http.NewRequest(http.MethodGet, srv.URL+"/", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Host = d.ACE
+		resp, err := client.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if got := resp.Header.Get("X-Served-With-Certificate"); got != d.SharedCN {
+			t.Errorf("%s: cert header = %q, want %q", d.ACE, got, d.SharedCN)
+		}
+		return
+	}
+	t.Skip("no parked domain with shared certificate at this scale")
+}

@@ -1,0 +1,59 @@
+package dnssim
+
+import (
+	"testing"
+)
+
+// FuzzDecode ensures the wire decoder never panics or over-reads on
+// arbitrary bytes, and that decodable messages re-encode decodably.
+func FuzzDecode(f *testing.F) {
+	seed := &Message{
+		ID: 7, Response: true, Authoritative: true,
+		Question: []Question{{Name: "xn--0wwy37b.com", Type: TypeA}},
+		Answers:  []Record{{Name: "xn--0wwy37b.com", Type: TypeA, TTL: 60, Data: "192.0.2.1"}},
+	}
+	wire, err := seed.Encode()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(wire)
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0xC0, 0x0C})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		msg, err := Decode(data)
+		if err != nil {
+			return
+		}
+		re, err := msg.Encode()
+		if err != nil {
+			// Decoded names may contain characters our encoder refuses
+			// (e.g. embedded dots from binary labels); that is acceptable.
+			return
+		}
+		if _, err := Decode(re); err != nil {
+			t.Fatalf("re-encoded message does not decode: %v", err)
+		}
+	})
+}
+
+// FuzzServerHandleWire ensures the server survives arbitrary queries.
+func FuzzServerHandleWire(f *testing.F) {
+	q := &Message{ID: 3, Question: []Question{{Name: "good.com", Type: TypeA}}}
+	wire, err := q.Encode()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(wire)
+	f.Add([]byte{1, 2, 3})
+	s := NewServer()
+	s.SetAnswer("good.com", "192.0.2.1")
+	f.Fuzz(func(t *testing.T, data []byte) {
+		resp, err := s.HandleWire(data)
+		if err != nil {
+			return
+		}
+		if _, err := Decode(resp); err != nil {
+			t.Fatalf("server produced undecodable response: %v", err)
+		}
+	})
+}

@@ -1,0 +1,260 @@
+// Package glyph rasterizes domain-name strings into grayscale bitmaps.
+//
+// The paper's homograph detector (§VI-B) "rendered the image of every IDN
+// and brand domain" before computing pair-wise SSIM. Reproducing that
+// requires a renderer; since real font stacks are out of scope, this package
+// ships a self-contained pixel typeface with a diacritic composition system
+// that preserves the property the detector depends on: a homoglyph renders
+// either pixel-identically to its ASCII target (Cyrillic а vs a) or with a
+// small mark perturbation (á, ạ, â), while unrelated characters render very
+// differently.
+//
+// Code points outside the known repertoire (e.g. CJK ideographs) render as
+// deterministic hash glyphs: a pseudo-random but stable 5x7 pattern derived
+// from the code point. Hash glyphs are mutually distinct with high
+// probability and never resemble Latin glyphs, which mirrors reality — a
+// Han ideograph does not pass for "a" in any font.
+package glyph
+
+import (
+	"image"
+	"strings"
+)
+
+// Cell geometry: a 5x7 core band with two mark rows above and below, plus
+// one column of inter-glyph spacing.
+const (
+	// CellWidth is the width in pixels of one rendered character cell.
+	CellWidth = baseWidth + 1
+	// CellHeight is the height in pixels of every rendered image.
+	CellHeight = baseHeight + 4
+	// coreTop is the first row of the 7-row core band.
+	coreTop = 2
+)
+
+// Pixel values: ink on white background.
+const (
+	inkPixel        = 0x00
+	backgroundPixel = 0xFF
+)
+
+// Renderer rasterizes strings. The zero value is ready to use; it exists
+// (rather than free functions only) so callers can attach a glyph cache.
+type Renderer struct {
+	cache map[rune][CellHeight]uint8
+}
+
+// NewRenderer returns a Renderer with an internal per-rune raster cache.
+// A Renderer is not safe for concurrent use; create one per goroutine.
+func NewRenderer() *Renderer {
+	return &Renderer{cache: make(map[rune][CellHeight]uint8, 128)}
+}
+
+// cellOf returns the rasterized cell for r as CellHeight rows of column
+// bits (bit i set = column i inked; only the low baseWidth bits are used).
+func (re *Renderer) cellOf(r rune) [CellHeight]uint8 {
+	if re.cache != nil {
+		if c, ok := re.cache[r]; ok {
+			return c
+		}
+	}
+	c := rasterize(r)
+	if re.cache != nil {
+		re.cache[r] = c
+	}
+	return c
+}
+
+// rasterize draws one code point into a cell bitmask.
+func rasterize(r rune) [CellHeight]uint8 {
+	if r >= 'A' && r <= 'Z' {
+		r += 'a' - 'A'
+	}
+	var cell [CellHeight]uint8
+	if rows, ok := baseFont[r]; ok {
+		paintCore(&cell, rows)
+		return cell
+	}
+	if sp, ok := composed[r]; ok {
+		rows := baseFont[sp.base]
+		paintCore(&cell, rows)
+		for _, m := range sp.marks {
+			paintMark(&cell, m)
+		}
+		return cell
+	}
+	return hashGlyph(r)
+}
+
+// paintCore draws the 7-row base glyph into the core band.
+func paintCore(cell *[CellHeight]uint8, rows [baseHeight]string) {
+	for y := 0; y < baseHeight; y++ {
+		var bits uint8
+		row := rows[y]
+		for x := 0; x < baseWidth && x < len(row); x++ {
+			if row[x] == '#' {
+				bits |= 1 << uint(x)
+			}
+		}
+		cell[coreTop+y] = bits
+	}
+}
+
+// paintMark draws a diacritic into its band, or an overlay across the core.
+func paintMark(cell *[CellHeight]uint8, m Mark) {
+	switch m {
+	case MarkStroke:
+		// Horizontal bar through the vertical middle of the core band.
+		cell[coreTop+3] |= 0x1F
+		return
+	case MarkSlash:
+		// Diagonal from bottom-left to top-right of the core band.
+		for y := 0; y < baseHeight; y++ {
+			x := (baseHeight - 1 - y) * baseWidth / baseHeight
+			cell[coreTop+y] |= 1 << uint(x)
+		}
+		return
+	}
+	mr, ok := markTable[m]
+	if !ok {
+		return
+	}
+	top := 0
+	if mr.below {
+		top = coreTop + baseHeight
+	}
+	for y := 0; y < 2; y++ {
+		var bits uint8
+		row := mr.rows[y]
+		for x := 0; x < baseWidth && x < len(row); x++ {
+			if row[x] == '#' {
+				bits |= 1 << uint(x)
+			}
+		}
+		cell[top+y] |= bits
+	}
+}
+
+// hashGlyph derives a stable pseudo-glyph for an unknown code point. The
+// core band is filled from a splitmix64 hash of the code point, leaving the
+// mark bands empty so hash glyphs stay visually "in line".
+func hashGlyph(r rune) [CellHeight]uint8 {
+	var cell [CellHeight]uint8
+	z := uint64(r) + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	for y := 0; y < baseHeight; y++ {
+		cell[coreTop+y] = uint8(z>>(uint(y)*5)) & 0x1F
+	}
+	// Guarantee visible ink even for degenerate hash values.
+	cell[coreTop] |= 0x04
+	cell[coreTop+baseHeight-1] |= 0x0A
+	return cell
+}
+
+// Render rasterizes s into a grayscale image of height CellHeight and width
+// len([]rune(s)) * CellWidth. Ink is black (0), background white (255).
+func (re *Renderer) Render(s string) *image.Gray {
+	runes := []rune(s)
+	return re.RenderWidth(s, len(runes)*CellWidth)
+}
+
+// RenderWidth rasterizes s into an image of exactly width pixels, padding
+// with background on the right or truncating. Fixed-width rendering is what
+// makes pair-wise SSIM between different-length domains well-defined.
+func (re *Renderer) RenderWidth(s string, width int) *image.Gray {
+	if width < 0 {
+		width = 0
+	}
+	img := image.NewGray(image.Rect(0, 0, width, CellHeight))
+	for i := range img.Pix {
+		img.Pix[i] = backgroundPixel
+	}
+	x0 := 0
+	for _, r := range s {
+		if x0 >= width {
+			break
+		}
+		cell := re.cellOf(r)
+		for y := 0; y < CellHeight; y++ {
+			bits := cell[y]
+			for x := 0; x < baseWidth; x++ {
+				if bits&(1<<uint(x)) == 0 {
+					continue
+				}
+				px := x0 + x
+				if px >= width {
+					continue
+				}
+				img.Pix[y*img.Stride+px] = inkPixel
+			}
+		}
+		x0 += CellWidth
+	}
+	return img
+}
+
+// Supported reports whether r has a designed glyph (base font or composed),
+// as opposed to a hash glyph.
+func Supported(r rune) bool {
+	if r >= 'A' && r <= 'Z' {
+		r += 'a' - 'A'
+	}
+	if _, ok := baseFont[r]; ok {
+		return true
+	}
+	_, ok := composed[r]
+	return ok
+}
+
+// InkOverlap computes |A∩B| / max(|A|,|B|) of inked pixels between the
+// cells of two code points — the pixel-overlap measure the UC-SimList
+// authors used to compose their homoglyph list (paper §VI-D).
+func InkOverlap(a, b rune) float64 {
+	ca, cb := rasterize(a), rasterize(b)
+	inter, na, nb := 0, 0, 0
+	for y := 0; y < CellHeight; y++ {
+		inter += popcount5(ca[y] & cb[y])
+		na += popcount5(ca[y])
+		nb += popcount5(cb[y])
+	}
+	maxN := na
+	if nb > maxN {
+		maxN = nb
+	}
+	if maxN == 0 {
+		return 0
+	}
+	return float64(inter) / float64(maxN)
+}
+
+// popcount5 counts set bits in the low 5 bits.
+func popcount5(b uint8) int {
+	n := 0
+	for b != 0 {
+		b &= b - 1
+		n++
+	}
+	return n
+}
+
+// Art returns an ASCII-art rendering of s, one string per pixel row, for
+// debugging and documentation ('#' ink, '.' background).
+func (re *Renderer) Art(s string) []string {
+	img := re.Render(s)
+	out := make([]string, CellHeight)
+	var b strings.Builder
+	for y := 0; y < CellHeight; y++ {
+		b.Reset()
+		for x := 0; x < img.Rect.Dx(); x++ {
+			if img.Pix[y*img.Stride+x] == inkPixel {
+				b.WriteByte('#')
+			} else {
+				b.WriteByte('.')
+			}
+		}
+		out[y] = b.String()
+	}
+	return out
+}

@@ -1,0 +1,269 @@
+// Package idna implements Internationalizing Domain Names in Applications
+// (IDNA): whole-domain conversion between Unicode form and the
+// ASCII-compatible encoding (ACE) form used on the wire, per RFC 3490 and
+// the registration flow described in the paper's §II. Labels containing
+// non-ASCII code points are Punycode-encoded (package punycode) and prefixed
+// with "xn--"; ASCII labels pass through after case folding and validation.
+package idna
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"idnlab/internal/punycode"
+)
+
+// ACEPrefix is the ASCII-compatible-encoding prefix prepended to
+// Punycode-encoded labels (RFC 3490 §5).
+const ACEPrefix = "xn--"
+
+// DNS length limits (RFC 1035).
+const (
+	maxLabelLength  = 63
+	maxDomainLength = 253
+)
+
+// Errors returned by the conversion functions.
+var (
+	// ErrEmptyLabel reports an empty label (consecutive or leading dots).
+	ErrEmptyLabel = errors.New("idna: empty label")
+	// ErrLabelTooLong reports an encoded label exceeding 63 octets.
+	ErrLabelTooLong = errors.New("idna: label exceeds 63 octets")
+	// ErrDomainTooLong reports an encoded domain exceeding 253 octets.
+	ErrDomainTooLong = errors.New("idna: domain exceeds 253 octets")
+	// ErrBadLabel reports a label violating LDH/hyphen placement rules.
+	ErrBadLabel = errors.New("idna: invalid label")
+	// ErrDisallowedRune reports a code point forbidden in domain labels.
+	ErrDisallowedRune = errors.New("idna: disallowed code point")
+)
+
+// foldRune lower-cases ASCII letters; other code points are returned
+// unchanged. Full Unicode case folding (Nameprep) is out of scope: the
+// paper's corpus comes from zone files, which are already folded.
+func foldRune(r rune) rune {
+	if r >= 'A' && r <= 'Z' {
+		return r + ('a' - 'A')
+	}
+	return r
+}
+
+// fold lower-cases the ASCII letters of s.
+func fold(s string) string {
+	needs := false
+	for i := 0; i < len(s); i++ {
+		if s[i] >= 'A' && s[i] <= 'Z' {
+			needs = true
+			break
+		}
+	}
+	if !needs {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s))
+	for _, r := range s {
+		b.WriteRune(foldRune(r))
+	}
+	return b.String()
+}
+
+// validateRunes rejects code points that may never appear in a label:
+// controls, spaces, and the label separator itself.
+func validateRunes(label string) error {
+	for _, r := range label {
+		switch {
+		case r < 0x21: // controls and space
+			return fmt.Errorf("%w: U+%04X", ErrDisallowedRune, r)
+		case r == '.' || r == '/' || r == '\\' || r == '@' || r == ':':
+			return fmt.Errorf("%w: %q", ErrDisallowedRune, r)
+		case r == 0x7F:
+			return fmt.Errorf("%w: U+007F", ErrDisallowedRune)
+		}
+	}
+	return nil
+}
+
+// validateHyphens enforces the RFC 5891 hyphen restrictions on an encoded
+// (ASCII) label: no leading or trailing hyphen, and no "--" in the third and
+// fourth position unless the label carries the ACE prefix.
+func validateHyphens(ace string) error {
+	if ace == "" {
+		return ErrEmptyLabel
+	}
+	if ace[0] == '-' || ace[len(ace)-1] == '-' {
+		return fmt.Errorf("%w: leading or trailing hyphen in %q", ErrBadLabel, ace)
+	}
+	if len(ace) >= 4 && ace[2] == '-' && ace[3] == '-' && !strings.HasPrefix(ace, ACEPrefix) {
+		return fmt.Errorf("%w: hyphens in positions 3-4 of %q", ErrBadLabel, ace)
+	}
+	return nil
+}
+
+// IsACELabel reports whether the (ASCII) label carries the ACE prefix —
+// the test the paper uses to extract IDNs from zone files.
+func IsACELabel(label string) bool {
+	return len(label) > len(ACEPrefix) && strings.EqualFold(label[:len(ACEPrefix)], ACEPrefix)
+}
+
+// ToASCIILabel converts a single label to its ACE form. Pure-ASCII labels
+// are returned folded and validated; labels with non-ASCII code points are
+// Punycode-encoded and prefixed.
+func ToASCIILabel(label string) (string, error) {
+	label = fold(label)
+	if label == "" {
+		return "", ErrEmptyLabel
+	}
+	if err := validateRunes(label); err != nil {
+		return "", err
+	}
+	ascii := true
+	for i := 0; i < len(label); i++ {
+		if label[i] >= 0x80 {
+			ascii = false
+			break
+		}
+	}
+	out := label
+	if !ascii {
+		enc, err := punycode.Encode(label)
+		if err != nil {
+			return "", fmt.Errorf("idna: encode label: %w", err)
+		}
+		out = ACEPrefix + enc
+	} else if IsACELabel(label) {
+		// Already-encoded input: validate it decodes.
+		if _, err := punycode.Decode(label[len(ACEPrefix):]); err != nil {
+			return "", fmt.Errorf("idna: ACE label %q: %w", label, err)
+		}
+	}
+	if len(out) > maxLabelLength {
+		return "", fmt.Errorf("%w: %q (%d octets)", ErrLabelTooLong, out, len(out))
+	}
+	if err := validateHyphens(out); err != nil {
+		return "", err
+	}
+	return out, nil
+}
+
+// ToUnicodeLabel converts a single label to its Unicode form. Labels with
+// the ACE prefix are decoded; others are returned folded. A label whose
+// decoded form is itself pure ASCII is rejected as a fake ACE label
+// ("hyper-encoded" labels are a known squatting trick).
+func ToUnicodeLabel(label string) (string, error) {
+	label = fold(label)
+	if label == "" {
+		return "", ErrEmptyLabel
+	}
+	if !IsACELabel(label) {
+		if err := validateRunes(label); err != nil {
+			return "", err
+		}
+		return label, nil
+	}
+	decoded, err := punycode.Decode(label[len(ACEPrefix):])
+	if err != nil {
+		return "", fmt.Errorf("idna: decode %q: %w", label, err)
+	}
+	if err := validateRunes(decoded); err != nil {
+		return "", err
+	}
+	return decoded, nil
+}
+
+// ToASCII converts a whole domain name (labels separated by '.') to ACE
+// form, validating each label and the overall length. A single trailing dot
+// (root) is preserved.
+func ToASCII(domain string) (string, error) {
+	return mapLabels(domain, ToASCIILabel, true)
+}
+
+// ToUnicode converts a whole domain name to Unicode display form. Length
+// limits are not enforced on the Unicode form (they apply on the wire).
+func ToUnicode(domain string) (string, error) {
+	return mapLabels(domain, ToUnicodeLabel, false)
+}
+
+// mapLabels applies convert to each label of domain and rejoins.
+func mapLabels(domain string, convert func(string) (string, error), enforceLength bool) (string, error) {
+	rooted := strings.HasSuffix(domain, ".") && domain != "."
+	if rooted {
+		domain = domain[:len(domain)-1]
+	}
+	if domain == "" {
+		return "", ErrEmptyLabel
+	}
+	labels := strings.Split(domain, ".")
+	out := make([]string, len(labels))
+	for i, label := range labels {
+		converted, err := convert(label)
+		if err != nil {
+			return "", fmt.Errorf("label %d: %w", i+1, err)
+		}
+		out[i] = converted
+	}
+	joined := strings.Join(out, ".")
+	if enforceLength && len(joined) > maxDomainLength {
+		return "", ErrDomainTooLong
+	}
+	if rooted {
+		joined += "."
+	}
+	return joined, nil
+}
+
+// IsIDN reports whether the domain contains at least one internationalized
+// label, in either Unicode or ACE form. This is the predicate the zone
+// scanner applies to 154M SLDs.
+func IsIDN(domain string) bool {
+	for i := 0; i < len(domain); i++ {
+		if domain[i] >= 0x80 {
+			return true
+		}
+	}
+	start := 0
+	for i := 0; i <= len(domain); i++ {
+		if i == len(domain) || domain[i] == '.' {
+			if IsACELabel(domain[start:i]) {
+				return true
+			}
+			start = i + 1
+		}
+	}
+	return false
+}
+
+// Label addresses one label of a domain without allocating the split.
+// SLD returns the second-level-domain portion ("example.com" for
+// "www.example.com") assuming a single-label TLD, which holds for every
+// TLD in the corpus (com/net/org and iTLDs).
+func SLD(domain string) string {
+	domain = strings.TrimSuffix(domain, ".")
+	last := strings.LastIndexByte(domain, '.')
+	if last < 0 {
+		return domain
+	}
+	prev := strings.LastIndexByte(domain[:last], '.')
+	return domain[prev+1:]
+}
+
+// TLD returns the top-level-domain label of the domain, without dots.
+func TLD(domain string) string {
+	domain = strings.TrimSuffix(domain, ".")
+	last := strings.LastIndexByte(domain, '.')
+	if last < 0 {
+		return domain
+	}
+	return domain[last+1:]
+}
+
+// SLDLabel returns the second-level label alone ("example" for
+// "www.example.com").
+func SLDLabel(domain string) string {
+	sld := SLD(domain)
+	dot := strings.IndexByte(sld, '.')
+	if dot < 0 {
+		return sld
+	}
+	return sld[:dot]
+}

@@ -1,0 +1,59 @@
+package idna
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Nameprep-style mapping (RFC 3491, reduced to the operations relevant to
+// modern registries): width folding of fullwidth forms, ASCII case
+// folding, and removal of zero-width code points. Registries apply this
+// before validation, which is why a fullwidth "ｇｏｏｇｌｅ" cannot be
+// registered as a distinct name from "google" — the mapping collapses
+// them. The paper's §II registration flow runs through exactly this step
+// inside the SRS.
+
+// zero-width and invisible code points stripped by the mapping.
+var strippedRunes = map[rune]bool{
+	0x00AD: true, // soft hyphen
+	0x200B: true, // zero width space
+	0x200C: true, // zero width non-joiner
+	0x200D: true, // zero width joiner
+	0x2060: true, // word joiner
+	0xFEFF: true, // zero width no-break space
+}
+
+// Nameprep applies the mapping to a single label: fullwidth forms fold to
+// their ASCII counterparts, ASCII uppercase folds to lowercase, and
+// invisible code points are removed. It returns an error when the result
+// is empty (a label made only of invisible characters is an attack shape,
+// not a name).
+func Nameprep(label string) (string, error) {
+	var b strings.Builder
+	b.Grow(len(label))
+	for _, r := range label {
+		if strippedRunes[r] {
+			continue
+		}
+		switch {
+		case r >= 'A' && r <= 'Z':
+			r += 'a' - 'A'
+		case r >= 0xFF01 && r <= 0xFF5E:
+			// Fullwidth ASCII block folds by fixed offset.
+			r -= 0xFEE0
+			if r >= 'A' && r <= 'Z' {
+				r += 'a' - 'A'
+			}
+		case r == 0x3000:
+			// Ideographic space maps to space, which validation rejects
+			// downstream; keep the mapping faithful.
+			r = ' '
+		}
+		b.WriteRune(r)
+	}
+	out := b.String()
+	if out == "" {
+		return "", fmt.Errorf("%w: label empty after nameprep", ErrBadLabel)
+	}
+	return out, nil
+}

@@ -1,0 +1,175 @@
+package langid
+
+// Seed corpora for the Latin-script languages the naive-Bayes model must
+// separate. Script-decisive languages (Chinese, Japanese, Korean, Thai,
+// Russian, Arabic, Persian) are classified structurally and need no corpus.
+//
+// Each corpus is a list of common words and domain-typical tokens; the
+// model trains on their character bigrams. Word lists are intentionally
+// rich in each language's characteristic letters and digraphs (ß/sch for
+// German, ı/ş/ğ for Turkish, å/ä/ö for Swedish, double vowels for Finnish,
+// gy/sz and ő/ű for Hungarian, ø/aa for Danish, ñ/ción for Spanish,
+// eau/oux for French).
+var latinCorpora = map[Language][]string{
+	English: {
+		"the", "and", "for", "with", "this", "that", "from", "have", "will",
+		"online", "shop", "store", "news", "world", "home", "free", "best",
+		"service", "group", "company", "market", "trade", "cloud", "tech",
+		"digital", "media", "games", "sports", "travel", "health", "money",
+		"school", "house", "water", "light", "night", "right", "think",
+		"about", "which", "their", "would", "there", "other", "after",
+		"first", "work", "life", "time", "people", "business", "website",
+	},
+	German: {
+		"und", "der", "die", "das", "nicht", "mit", "sich", "auf", "für",
+		"straße", "größe", "über", "müller", "schön", "mädchen", "können",
+		"geschäft", "verkauf", "bücher", "möbel", "küche", "schule",
+		"deutschland", "münchen", "köln", "düsseldorf", "nürnberg",
+		"versicherung", "wohnung", "zeitung", "lösung", "prüfung",
+		"fußball", "straßenbahn", "süß", "weiß", "heiß", "grüße",
+		"männer", "frauen", "kinder", "häuser", "bäcker", "metzger",
+		"schnell", "zwischen", "deutsch", "sprache", "wörterbuch",
+	},
+	Turkish: {
+		"ve", "bir", "için", "ile", "çok", "daha", "gibi", "kadar",
+		"türkiye", "istanbul", "ankara", "izmir", "türkçe", "güzel",
+		"şirket", "satış", "alışveriş", "ürün", "fiyat", "ücretsiz",
+		"sağlık", "eğitim", "öğrenci", "üniversite", "müzik", "oyun",
+		"haber", "gazete", "spor", "yazılım", "bilgisayar", "telefon",
+		"çocuk", "kitap", "şehir", "yıl", "gün", "işçi", "çalışma",
+		"başka", "şimdi", "değil", "büyük", "küçük", "yeşil", "kırmızı",
+	},
+	Swedish: {
+		"och", "att", "det", "som", "för", "på", "är", "med", "till",
+		"sverige", "stockholm", "göteborg", "malmö", "svensk", "språk",
+		"företag", "försäljning", "köp", "pris", "gratis", "nyheter",
+		"hälsa", "skola", "universitet", "musik", "spel", "resor",
+		"väder", "kläder", "möbler", "böcker", "bättre", "större",
+		"människor", "barn", "hus", "vatten", "ljus", "natt", "rätt",
+		"många", "några", "själv", "även", "både", "därför", "mellan",
+	},
+	Spanish: {
+		"que", "los", "las", "por", "con", "para", "una", "del", "más",
+		"españa", "madrid", "barcelona", "méxico", "español", "señor",
+		"compañía", "tienda", "venta", "precio", "gratis", "noticias",
+		"salud", "educación", "niños", "universidad", "música", "juegos",
+		"viajes", "año", "años", "día", "días", "están", "también",
+		"información", "dirección", "atención", "corazón", "nación",
+		"pequeño", "mañana", "montaña", "baño", "sueño", "diseño",
+	},
+	French: {
+		"les", "des", "une", "est", "pour", "que", "dans", "qui", "avec",
+		"france", "paris", "lyon", "marseille", "français", "château",
+		"société", "boutique", "vente", "prix", "gratuit", "nouvelles",
+		"santé", "éducation", "école", "université", "musique", "jeux",
+		"voyages", "année", "journée", "être", "même", "très", "après",
+		"beaucoup", "nouveau", "beau", "eau", "bureau", "cadeau",
+		"hôtel", "café", "crêpe", "forêt", "île", "août", "noël",
+		"coût", "goût", "où", "déjà", "voilà", "français",
+	},
+	Finnish: {
+		"ja", "on", "että", "ei", "se", "hän", "mutta", "kun", "niin",
+		"suomi", "helsinki", "tampere", "turku", "suomalainen", "kieli",
+		"yritys", "myynti", "kauppa", "hinta", "ilmainen", "uutiset",
+		"terveys", "koulutus", "koulu", "yliopisto", "musiikki", "pelit",
+		"matkat", "vuosi", "päivä", "yö", "työ", "tyttö", "poika",
+		"kaupunki", "maa", "vesi", "tuli", "ilma", "metsä", "järvi",
+		"kirja", "talo", "auto", "juna", "lentokone", "puhelin",
+		"kaunis", "hyvä", "paha", "iso", "pieni", "pitkä", "lyhyt",
+	},
+	Hungarian: {
+		"és", "egy", "az", "hogy", "nem", "is", "van", "volt", "lesz",
+		"magyarország", "budapest", "debrecen", "szeged", "magyar", "nyelv",
+		"cég", "eladás", "bolt", "ár", "ingyenes", "hírek",
+		"egészség", "oktatás", "iskola", "egyetem", "zene", "játékok",
+		"utazás", "év", "nap", "éjszaka", "munka", "gyerek", "fiú",
+		"város", "ország", "víz", "tűz", "levegő", "erdő", "folyó",
+		"könyv", "ház", "autó", "vonat", "repülő", "telefon",
+		"szép", "jó", "rossz", "nagy", "kicsi", "hosszú", "rövid",
+		"gyönyörű", "szöveg", "összes", "különböző", "következő",
+	},
+	Vietnamese: {
+		"và", "của", "có", "được", "cho", "không", "người", "này",
+		"việt", "nam", "hà", "nội", "sài", "gòn", "tiếng", "việt",
+		"công", "ty", "bán", "hàng", "cửa", "hàng", "giá", "miễn", "phí",
+		"sức", "khỏe", "giáo", "dục", "trường", "học", "đại", "học",
+		"âm", "nhạc", "trò", "chơi", "du", "lịch", "khách", "sạn",
+		"năm", "ngày", "đêm", "làm", "việc", "trẻ", "em", "thành", "phố",
+		"nước", "đẹp", "tốt", "xấu", "lớn", "nhỏ", "dài", "ngắn",
+		"đồng", "tiền", "ngân", "hàng", "bảo", "hiểm", "điện", "thoại",
+	},
+	Danish: {
+		"og", "det", "at", "en", "den", "til", "er", "som", "på",
+		"danmark", "københavn", "aarhus", "odense", "dansk", "sprog",
+		"virksomhed", "salg", "butik", "pris", "gratis", "nyheder",
+		"sundhed", "uddannelse", "skole", "universitet", "musik", "spil",
+		"rejser", "år", "dag", "nat", "arbejde", "børn", "dreng",
+		"by", "land", "vand", "ild", "luft", "skov", "sø",
+		"bog", "hus", "bil", "tog", "fly", "telefon",
+		"smuk", "god", "dårlig", "stor", "lille", "lang", "kort",
+		"størrelse", "køb", "æble", "rød", "grøn", "blå", "første",
+	},
+}
+
+// diacriticHints maps characteristic code points to the languages they
+// boost. A hint is strong evidence but not decisive (å exists in Swedish,
+// Danish and Finnish loans), so hints act as additive log-prior boosts.
+var diacriticHints = map[rune][]Language{
+	'ß': {German},
+	'ü': {German, Turkish, Hungarian},
+	'ä': {German, Swedish, Finnish},
+	'ö': {German, Swedish, Finnish, Turkish, Hungarian},
+	'å': {Swedish, Danish},
+	'ø': {Danish},
+	'æ': {Danish},
+	'ı': {Turkish},
+	'ş': {Turkish},
+	'ğ': {Turkish},
+	'ç': {Turkish, French},
+	'ñ': {Spanish},
+	'¿': {Spanish},
+	'í': {Spanish, Hungarian},
+	'ó': {Spanish, Hungarian},
+	'á': {Spanish, Hungarian},
+	'é': {French, Spanish, Hungarian},
+	'è': {French},
+	'ê': {French},
+	'â': {French, Turkish},
+	'û': {French},
+	'î': {French, Turkish},
+	'ô': {French},
+	'œ': {French},
+	'ő': {Hungarian},
+	'ű': {Hungarian},
+	'đ': {Vietnamese},
+	'ơ': {Vietnamese},
+	'ư': {Vietnamese},
+	'ạ': {Vietnamese},
+	'ả': {Vietnamese},
+	'ấ': {Vietnamese},
+	'ầ': {Vietnamese},
+	'ậ': {Vietnamese},
+	'ắ': {Vietnamese},
+	'ẹ': {Vietnamese},
+	'ế': {Vietnamese},
+	'ệ': {Vietnamese},
+	'ị': {Vietnamese},
+	'ọ': {Vietnamese},
+	'ố': {Vietnamese},
+	'ộ': {Vietnamese},
+	'ụ': {Vietnamese},
+	'ủ': {Vietnamese},
+	'ỳ': {Vietnamese},
+	'ỹ': {Vietnamese},
+}
+
+// persianOnly are Arabic-script code points that exist in Persian but not
+// Arabic; their presence resolves the Arabic/Persian split.
+var persianOnly = map[rune]bool{
+	'پ': true, // peh
+	'چ': true, // tcheh
+	'ژ': true, // jeh
+	'گ': true, // gaf
+	'ک': true, // keheh (Persian kaf form)
+	'ی': true, // Farsi yeh
+}

@@ -1,0 +1,132 @@
+package pdns
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestLogLineRoundTrip(t *testing.T) {
+	lines := []LogLine{
+		{Time: day(2017, 5, 1), Domain: "xn--0wwy37b.com", ResponseIP: "192.0.2.1"},
+		{Time: day(2016, 1, 2).Add(13*time.Hour + 45*time.Minute), Domain: "example.com"},
+	}
+	for _, l := range lines {
+		back, err := ParseLogLine(l.String())
+		if err != nil {
+			t.Fatalf("%q: %v", l.String(), err)
+		}
+		if !back.Time.Equal(l.Time) || back.Domain != l.Domain || back.ResponseIP != l.ResponseIP {
+			t.Errorf("round trip %q -> %+v", l.String(), back)
+		}
+	}
+}
+
+func TestParseLogLineErrors(t *testing.T) {
+	for _, line := range []string{"", "just-one-field", "notatime a.com", "2017-05-01T00:00:00Z a.com 1.2.3.4 extra"} {
+		if _, err := ParseLogLine(line); !errors.Is(err, ErrBadLogLine) {
+			t.Errorf("line %q: err = %v", line, err)
+		}
+	}
+}
+
+func TestAggregateBuildsEntries(t *testing.T) {
+	log := strings.Join([]string{
+		"# resolver log excerpt",
+		"2016-03-01T10:00:00Z xn--0wwy37b.com 192.0.2.1",
+		"",
+		"2016-05-01T10:00:00Z xn--0wwy37b.com 192.0.2.2",
+		"2016-04-01T10:00:00Z xn--0wwy37b.com 192.0.2.1",
+		"2017-01-01T00:00:00Z other.com",
+	}, "\n")
+	s := NewStore()
+	n, err := s.Aggregate(strings.NewReader(log))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 {
+		t.Errorf("ingested %d lines, want 4", n)
+	}
+	e, ok := s.Get("xn--0wwy37b.com")
+	if !ok {
+		t.Fatal("entry missing")
+	}
+	if e.Queries != 3 {
+		t.Errorf("Queries = %d", e.Queries)
+	}
+	if !e.FirstSeen.Equal(day(2016, 3, 1).Add(10*time.Hour)) || !e.LastSeen.Equal(day(2016, 5, 1).Add(10*time.Hour)) {
+		t.Errorf("window = %v..%v", e.FirstSeen, e.LastSeen)
+	}
+	if len(e.IPs) != 2 {
+		t.Errorf("IPs = %v", e.IPs)
+	}
+	if e2, ok := s.Get("other.com"); !ok || e2.Queries != 1 || len(e2.IPs) != 0 {
+		t.Errorf("other.com = %+v, %v", e2, ok)
+	}
+}
+
+func TestAggregateMalformedAborts(t *testing.T) {
+	s := NewStore()
+	_, err := s.Aggregate(strings.NewReader("2016-03-01T10:00:00Z a.com\nbroken\n"))
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestWriteAggregateRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	var lines []LogLine
+	base := day(2015, 1, 1)
+	for i := 0; i < 500; i++ {
+		lines = append(lines, LogLine{
+			Time:       base.Add(time.Duration(r.Intn(1000*24)) * time.Hour),
+			Domain:     "domain" + string(rune('a'+r.Intn(5))) + ".com",
+			ResponseIP: Slash24("10.0.0.1")[:len("10.0.0")] + ".5",
+		})
+	}
+	var buf bytes.Buffer
+	if err := WriteLog(&buf, lines); err != nil {
+		t.Fatal(err)
+	}
+	s := NewStore()
+	n, err := s.Aggregate(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(lines) {
+		t.Fatalf("ingested %d of %d", n, len(lines))
+	}
+	// Totals must be preserved.
+	var total int64
+	for _, d := range s.Domains() {
+		e, _ := s.Get(d)
+		total += e.Queries
+		if e.LastSeen.Before(e.FirstSeen) {
+			t.Fatalf("%s window inverted", d)
+		}
+	}
+	if total != int64(len(lines)) {
+		t.Errorf("total queries = %d, want %d", total, len(lines))
+	}
+}
+
+func BenchmarkAggregate(b *testing.B) {
+	var sb strings.Builder
+	for i := 0; i < 10000; i++ {
+		sb.WriteString("2016-03-01T10:00:00Z domain")
+		sb.WriteByte(byte('a' + i%26))
+		sb.WriteString(".com 192.0.2.1\n")
+	}
+	data := sb.String()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := NewStore()
+		if _, err := s.Aggregate(strings.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,251 @@
+// Package pdns implements the passive-DNS substrate: per-domain aggregated
+// lookup statistics of the kind the paper obtained from 360 DNS Pai and
+// Farsight DNSDB. "Both data sources provide statistics of DNS look-ups
+// aggregated per domain, which contain the number of look-ups and
+// timestamps of the first and last lookup" (§III); responses also expose
+// the resolved IP addresses used for the hosting-concentration analysis
+// (Figure 4).
+package pdns
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Entry is the aggregated passive-DNS view of one domain.
+type Entry struct {
+	// Domain is the queried name in ACE form.
+	Domain string
+	// FirstSeen and LastSeen bound the observation window.
+	FirstSeen time.Time
+	LastSeen  time.Time
+	// Queries is the total number of observed look-ups.
+	Queries int64
+	// IPs holds the distinct IPv4 addresses seen in responses, dotted
+	// quad form.
+	IPs []string
+}
+
+// ActiveDays returns the paper's "active time" metric: the day span
+// between first and last observed request.
+func (e Entry) ActiveDays() float64 {
+	if e.LastSeen.Before(e.FirstSeen) {
+		return 0
+	}
+	return e.LastSeen.Sub(e.FirstSeen).Hours() / 24
+}
+
+// Validate checks the entry invariants.
+func (e Entry) Validate() error {
+	if e.Domain == "" {
+		return errors.New("pdns: entry without domain")
+	}
+	if e.Queries < 0 {
+		return fmt.Errorf("pdns: %s has negative query count", e.Domain)
+	}
+	if !e.FirstSeen.IsZero() && !e.LastSeen.IsZero() && e.LastSeen.Before(e.FirstSeen) {
+		return fmt.Errorf("pdns: %s last seen before first seen", e.Domain)
+	}
+	return nil
+}
+
+// Store is an in-memory passive-DNS database. Build once, read many; not
+// safe for concurrent mutation.
+type Store struct {
+	entries map[string]Entry
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{entries: make(map[string]Entry)}
+}
+
+// Merge folds an observation into the store: first/last seen widen, query
+// counts add, IP sets union. Merging is commutative and associative.
+func (s *Store) Merge(e Entry) {
+	key := strings.ToLower(e.Domain)
+	cur, ok := s.entries[key]
+	if !ok {
+		e.Domain = key
+		e.IPs = dedupeIPs(e.IPs)
+		s.entries[key] = e
+		return
+	}
+	if !e.FirstSeen.IsZero() && (cur.FirstSeen.IsZero() || e.FirstSeen.Before(cur.FirstSeen)) {
+		cur.FirstSeen = e.FirstSeen
+	}
+	if e.LastSeen.After(cur.LastSeen) {
+		cur.LastSeen = e.LastSeen
+	}
+	cur.Queries += e.Queries
+	cur.IPs = dedupeIPs(append(cur.IPs, e.IPs...))
+	s.entries[key] = cur
+}
+
+func dedupeIPs(ips []string) []string {
+	if len(ips) <= 1 {
+		return ips
+	}
+	sort.Strings(ips)
+	out := ips[:1]
+	for _, ip := range ips[1:] {
+		if ip != out[len(out)-1] {
+			out = append(out, ip)
+		}
+	}
+	return out
+}
+
+// Get looks up the entry for a domain. ok is false when the domain was
+// never observed — common for parked IDNs.
+func (s *Store) Get(domain string) (Entry, bool) {
+	e, ok := s.entries[strings.ToLower(domain)]
+	return e, ok
+}
+
+// Len returns the number of observed domains.
+func (s *Store) Len() int { return len(s.entries) }
+
+// Domains returns the observed domains, sorted.
+func (s *Store) Domains() []string {
+	out := make([]string, 0, len(s.entries))
+	for d := range s.entries {
+		out = append(out, d)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ActiveDaysOf collects the active-time metric for the given domains,
+// skipping unobserved ones — the per-population series of Figures 2/5/8.
+func (s *Store) ActiveDaysOf(domains []string) []float64 {
+	out := make([]float64, 0, len(domains))
+	for _, d := range domains {
+		if e, ok := s.Get(d); ok {
+			out = append(out, e.ActiveDays())
+		}
+	}
+	return out
+}
+
+// QueriesOf collects the query-volume metric for the given domains,
+// skipping unobserved ones — the series of Figures 3/5/8.
+func (s *Store) QueriesOf(domains []string) []float64 {
+	out := make([]float64, 0, len(domains))
+	for _, d := range domains {
+		if e, ok := s.Get(d); ok {
+			out = append(out, float64(e.Queries))
+		}
+	}
+	return out
+}
+
+// Slash24 maps a dotted-quad IPv4 address to its /24 network segment
+// ("a.b.c.0/24"). Malformed addresses map to themselves.
+func Slash24(ip string) string {
+	last := strings.LastIndexByte(ip, '.')
+	if last < 0 {
+		return ip
+	}
+	return ip[:last] + ".0/24"
+}
+
+// SegmentStat is the per-/24 aggregation row behind Figure 4.
+type SegmentStat struct {
+	// Segment is the /24 network, e.g. "192.0.2.0/24".
+	Segment string
+	// Domains is the number of distinct domains hosted in the segment.
+	Domains int
+	// IPs is the number of distinct addresses observed in the segment.
+	IPs int
+}
+
+// SegmentsByDomains aggregates all observed response IPs into /24 segments
+// and ranks them by hosted-domain count, descending (ties by segment).
+func (s *Store) SegmentsByDomains() []SegmentStat {
+	domainsPer := make(map[string]map[string]struct{})
+	ipsPer := make(map[string]map[string]struct{})
+	for d, e := range s.entries {
+		for _, ip := range e.IPs {
+			seg := Slash24(ip)
+			if domainsPer[seg] == nil {
+				domainsPer[seg] = make(map[string]struct{})
+				ipsPer[seg] = make(map[string]struct{})
+			}
+			domainsPer[seg][d] = struct{}{}
+			ipsPer[seg][ip] = struct{}{}
+		}
+	}
+	out := make([]SegmentStat, 0, len(domainsPer))
+	for seg, ds := range domainsPer {
+		out = append(out, SegmentStat{Segment: seg, Domains: len(ds), IPs: len(ipsPer[seg])})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Domains != out[j].Domains {
+			return out[i].Domains > out[j].Domains
+		}
+		return out[i].Segment < out[j].Segment
+	})
+	return out
+}
+
+// ErrQuotaExceeded reports that a rate-limited client used up its daily
+// query budget.
+var ErrQuotaExceeded = errors.New("pdns: daily query quota exceeded")
+
+// LimitedClient wraps a Store behind a per-day query quota, mirroring the
+// Farsight access model ("a query limit of only a thousand domains per
+// day") that forced the paper to restrict Farsight look-ups to the abusive
+// IDN subsets.
+type LimitedClient struct {
+	store    *Store
+	quota    int
+	used     int
+	day      time.Time
+	nowFunc  func() time.Time
+	queryLog int
+}
+
+// NewLimitedClient wraps store with a daily quota. now is injected for
+// testability; pass time.Now in production.
+func NewLimitedClient(store *Store, quota int, now func() time.Time) *LimitedClient {
+	if now == nil {
+		now = time.Now
+	}
+	return &LimitedClient{store: store, quota: quota, nowFunc: now}
+}
+
+// Lookup queries one domain, consuming quota. Unobserved domains still
+// consume quota (the provider charges per query, not per hit).
+func (c *LimitedClient) Lookup(domain string) (Entry, bool, error) {
+	today := c.nowFunc().UTC().Truncate(24 * time.Hour)
+	if !today.Equal(c.day) {
+		c.day = today
+		c.used = 0
+	}
+	if c.used >= c.quota {
+		return Entry{}, false, ErrQuotaExceeded
+	}
+	c.used++
+	c.queryLog++
+	e, ok := c.store.Get(domain)
+	return e, ok, nil
+}
+
+// Remaining returns the quota left for the current day.
+func (c *LimitedClient) Remaining() int {
+	today := c.nowFunc().UTC().Truncate(24 * time.Hour)
+	if !today.Equal(c.day) {
+		return c.quota
+	}
+	if c.quota < c.used {
+		return 0
+	}
+	return c.quota - c.used
+}
+
+// TotalQueries returns the lifetime query count through this client.
+func (c *LimitedClient) TotalQueries() int { return c.queryLog }

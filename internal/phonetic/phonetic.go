@@ -1,0 +1,163 @@
+// Package phonetic implements pronunciation-resemblance checks for domain
+// labels. The paper's §VIII observes a registry brand-protection system
+// (deployed by CNNIC on three TLDs) "performing resemblance checks on
+// visual appearances, pronunciation and semantics"; packages glyph/ssim
+// cover the visual axis and core's detectors the semantic axis — this
+// package covers pronunciation.
+//
+// Two encoders are provided: classic Soundex (the registry-industry
+// baseline) and a domain-tuned key that folds common sound-alike digraphs
+// (ph→f, ck→k, qu→kw) and collapses repeats, catching registrations like
+// "gugel.com" or "phacebook.com" that are visually distinct but read the
+// same.
+package phonetic
+
+import (
+	"strings"
+)
+
+// Soundex computes the classic four-character Soundex code of a label
+// (letters only; non-letters are skipped). Empty input yields "".
+func Soundex(s string) string {
+	s = strings.ToLower(s)
+	var first byte
+	var digits []byte
+	var prev byte
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c < 'a' || c > 'z' {
+			continue
+		}
+		d := soundexDigit(c)
+		if first == 0 {
+			first = c - 'a' + 'A'
+			prev = d
+			continue
+		}
+		// Vowels and h/w/y reset adjacency differently: h/w do not
+		// separate identical codes; vowels do.
+		if d == 0 {
+			if c != 'h' && c != 'w' {
+				prev = 0
+			}
+			continue
+		}
+		if d != prev {
+			digits = append(digits, '0'+d)
+			if len(digits) == 3 {
+				break
+			}
+		}
+		prev = d
+	}
+	if first == 0 {
+		return ""
+	}
+	for len(digits) < 3 {
+		digits = append(digits, '0')
+	}
+	return string(first) + string(digits)
+}
+
+// soundexDigit maps a letter to its Soundex group (0 for vowels/h/w/y).
+func soundexDigit(c byte) byte {
+	switch c {
+	case 'b', 'f', 'p', 'v':
+		return 1
+	case 'c', 'g', 'j', 'k', 'q', 's', 'x', 'z':
+		return 2
+	case 'd', 't':
+		return 3
+	case 'l':
+		return 4
+	case 'm', 'n':
+		return 5
+	case 'r':
+		return 6
+	}
+	return 0
+}
+
+// digraphs are sound-alike sequences folded before keying, longest first.
+var digraphs = []struct{ from, to string }{
+	{"ough", "o"},
+	{"eigh", "a"},
+	{"tion", "shun"},
+	{"ph", "f"},
+	{"gh", "g"},
+	{"ck", "k"},
+	{"qu", "kw"},
+	{"wh", "w"},
+	{"kn", "n"},
+	{"wr", "r"},
+	{"mb", "m"},
+	{"ce", "se"},
+	{"ci", "si"},
+	{"cy", "sy"},
+	{"x", "ks"},
+}
+
+// singles are letter-level sound folds applied after digraphs.
+var singles = map[byte]byte{
+	'z': 's',
+	'q': 'k',
+	'c': 'k',
+	'y': 'i',
+	'j': 'g',
+	'w': 'v',
+	'0': 'o', // digits that read as letters
+	'1': 'l',
+	'3': 'e',
+	'5': 's',
+}
+
+// Key computes the domain-tuned phonetic key of a label: lowercase,
+// digraph folds, letter folds, internal-vowel removal (as in Soundex) and
+// repeat collapse. A leading vowel is audible and kept as the class 'a'.
+// Labels with equal keys read alike.
+func Key(label string) string {
+	s := strings.ToLower(label)
+	for _, d := range digraphs {
+		s = strings.ReplaceAll(s, d.from, d.to)
+	}
+	var b strings.Builder
+	b.Grow(len(s))
+	var prev byte
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if f, ok := singles[c]; ok {
+			c = f
+		}
+		if !(c >= 'a' && c <= 'z') {
+			continue
+		}
+		if isVowel(c) {
+			// Only a leading vowel survives, folded to its class.
+			if b.Len() == 0 {
+				b.WriteByte('a')
+				prev = 'a'
+			}
+			continue
+		}
+		if c == prev {
+			continue // collapse repeats (also across removed vowels)
+		}
+		b.WriteByte(c)
+		prev = c
+	}
+	return b.String()
+}
+
+func isVowel(c byte) bool {
+	switch c {
+	case 'a', 'e', 'i', 'o', 'u':
+		return true
+	}
+	return false
+}
+
+// Alike reports whether two labels read the same under the domain key.
+func Alike(a, b string) bool {
+	ka, kb := Key(a), Key(b)
+	return ka != "" && ka == kb
+}

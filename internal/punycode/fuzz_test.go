@@ -1,0 +1,65 @@
+package punycode
+
+import (
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzDecode ensures the decoder never panics and that every successfully
+// decoded label re-encodes to an equivalent form.
+func FuzzDecode(f *testing.F) {
+	for _, seed := range []string{
+		"", "fiqs8s", "0wwy37b", "pple-43d", "ihqwcrb4cv8a8dqg056pqjye",
+		"Hello-Another-Way--fc4qua05auwb3674vfr0b", "a-b", "zzzzzzzzzzzz",
+		"-> $1.00 <--", "xn--", "99999999999",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, encoded string) {
+		decoded, err := Decode(encoded)
+		if err != nil {
+			return
+		}
+		re, err := Encode(decoded)
+		if err != nil {
+			t.Fatalf("decoded %q from %q but cannot re-encode: %v", decoded, encoded, err)
+		}
+		back, err := Decode(re)
+		if err != nil || back != decoded {
+			t.Fatalf("re-encode of %q not stable: %q -> %q (%v)", encoded, re, back, err)
+		}
+	})
+}
+
+// FuzzEncode ensures the encoder never panics, outputs pure ASCII, and
+// round-trips through the decoder.
+func FuzzEncode(f *testing.F) {
+	for _, seed := range []string{
+		"", "中国", "波色", "аpple", "bücher", "日本語", "facebook",
+		strings.Repeat("中", 30), "mix中ed",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, label string) {
+		if !utf8.ValidString(label) {
+			return
+		}
+		enc, err := Encode(label)
+		if err != nil {
+			return
+		}
+		for i := 0; i < len(enc); i++ {
+			if enc[i] >= 0x80 {
+				t.Fatalf("Encode(%q) produced non-ASCII %q", label, enc)
+			}
+		}
+		dec, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("Decode(Encode(%q)) failed: %v", label, err)
+		}
+		if dec != label {
+			t.Fatalf("round trip %q -> %q -> %q", label, enc, dec)
+		}
+	})
+}

@@ -1,0 +1,378 @@
+package punycode
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+	"unicode/utf8"
+)
+
+// rfc3492Samples are the official sample strings from RFC 3492 §7.1 plus
+// IDN labels that appear in the paper.
+var rfc3492Samples = []struct {
+	name    string
+	unicode string
+	encoded string
+}{
+	{
+		name: "rfc-arabic-egyptian",
+		unicode: "ليهمابتكل" +
+			"موشعربي؟",
+		encoded: "egbpdaj6bu4bxfgehfvwxn",
+	},
+	{
+		name:    "rfc-chinese-simplified",
+		unicode: "他们为什么不说中文",
+		encoded: "ihqwcrb4cv8a8dqg056pqjye",
+	},
+	{
+		name:    "rfc-chinese-traditional",
+		unicode: "他們爲什麽不說中文",
+		encoded: "ihqwctvzc91f659drss3x8bo0yb",
+	},
+	{
+		name: "rfc-czech",
+		unicode: "Pročprost" +
+			"ěnemluvíče" +
+			"sky",
+		encoded: "Proprostnemluvesky-uyb24dma41a",
+	},
+	{
+		name: "rfc-hebrew",
+		unicode: "למההםפשוט" +
+			"לאמדבריםעב" +
+			"רית",
+		encoded: "4dbcagdahymbxekheh6e0a7fei0b",
+	},
+	{
+		name: "rfc-hindi",
+		unicode: "यहलोगहिन्" +
+			"दीक्योंनही" +
+			"ंबोलसकतेहै" +
+			"ं",
+		encoded: "i1baa7eci9glrd9b2ae1bj0hfcgg6iyaf8o0a1dig0cd",
+	},
+	{
+		name: "rfc-japanese",
+		unicode: "なぜみんな日本語を" +
+			"話してくれないのか",
+		encoded: "n8jok5ay5dzabd5bym9f0cm5685rrjetr6pdxa",
+	},
+	{
+		name: "rfc-korean",
+		unicode: "세계의모든사람들이" +
+			"한국어를이해한다면얼" +
+			"마나좋을까",
+		encoded: "989aomsvi5e83db1d2a355cv1e0vak1dwrv93d5xbh15a0dt30a5jpsd879ccm6fea98c",
+	},
+	{
+		name: "rfc-russian",
+		unicode: "почемужео" +
+			"нинеговоря" +
+			"тпорусски",
+		encoded: "b1abfaaepdrnnbgefbadotcwatmq2g4l",
+	},
+	{
+		name: "rfc-spanish",
+		unicode: "Porquénop" +
+			"uedensimpl" +
+			"ementehabl" +
+			"arenEspaño" +
+			"l",
+		encoded: "PorqunopuedensimplementehablarenEspaol-fmd56a",
+	},
+	{
+		name: "rfc-vietnamese",
+		unicode: "Tạisaohọk" +
+			"hôngthểchỉ" +
+			"nóitiếngVi" +
+			"ệt",
+		encoded: "TisaohkhngthchnitingVit-kjcr8268qyxafd2f1b9g",
+	},
+	{
+		name:    "rfc-3nen-b-gumi",
+		unicode: "3年B組金八先生",
+		encoded: "3B-ww4c5e180e575a65lsy2b",
+	},
+	{
+		name:    "rfc-amuro-namie",
+		unicode: "安室奈美恵-with-SUPER-MONKEYS",
+		encoded: "-with-SUPER-MONKEYS-pc58ag80a8qai00g7n9n",
+	},
+	{
+		name:    "rfc-hello-another-way",
+		unicode: "Hello-Another-Way-それぞれの場所",
+		encoded: "Hello-Another-Way--fc4qua05auwb3674vfr0b",
+	},
+	{
+		name:    "rfc-hitotsu-yane",
+		unicode: "ひとつ屋根の下2",
+		encoded: "2-u9tlzr9756bt3uc0v",
+	},
+	{
+		name:    "rfc-maji-de-koi",
+		unicode: "MajiでKoiする5秒前",
+		encoded: "MajiKoi5-783gue6qz075azm5e",
+	},
+	{
+		name:    "rfc-pafii-de-runba",
+		unicode: "パフィーdeルンバ",
+		encoded: "de-jg4avhby1noc0d",
+	},
+	{
+		name:    "rfc-sono-speed-de",
+		unicode: "そのスピードで",
+		encoded: "d9juau41awczczp",
+	},
+	{
+		name:    "rfc-costs",
+		unicode: "-> $1.00 <-",
+		encoded: "-> $1.00 <--",
+	},
+	// Labels from the paper.
+	{
+		name:    "paper-gambling-idn",
+		unicode: "波色", // the gambling IDN xn--0wwy37b from paper §IV-C
+		encoded: "0wwy37b",
+	},
+	{
+		name:    "paper-china-itld",
+		unicode: "中国", // 中国 (xn--fiqs8s)
+		encoded: "fiqs8s",
+	},
+	{
+		name:    "paper-apple-homograph",
+		unicode: "аpple", // Cyrillic а + pple
+		encoded: "pple-43d",
+	},
+}
+
+func TestEncodeRFC3492Samples(t *testing.T) {
+	for _, tc := range rfc3492Samples {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := Encode(tc.unicode)
+			if err != nil {
+				t.Fatalf("Encode: %v", err)
+			}
+			if got != tc.encoded {
+				t.Errorf("Encode(%q) = %q, want %q", tc.unicode, got, tc.encoded)
+			}
+		})
+	}
+}
+
+func TestDecodeRFC3492Samples(t *testing.T) {
+	for _, tc := range rfc3492Samples {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := Decode(tc.encoded)
+			if err != nil {
+				t.Fatalf("Decode: %v", err)
+			}
+			if got != tc.unicode {
+				t.Errorf("Decode(%q) = %q, want %q", tc.encoded, got, tc.unicode)
+			}
+		})
+	}
+}
+
+func TestDecodeCaseInsensitiveDigits(t *testing.T) {
+	lower, err := Decode("fiqs8s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	upper, err := Decode("FIQS8S")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lower != upper {
+		t.Errorf("case-insensitive decode mismatch: %q vs %q", lower, upper)
+	}
+}
+
+func TestEncodeEmptyLabel(t *testing.T) {
+	got, err := Encode("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "" {
+		t.Errorf("Encode(\"\") = %q", got)
+	}
+}
+
+func TestDecodeEmpty(t *testing.T) {
+	got, err := Decode("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "" {
+		t.Errorf("Decode(\"\") = %q", got)
+	}
+}
+
+func TestEncodeOutputIsASCII(t *testing.T) {
+	for _, tc := range rfc3492Samples {
+		got, err := Encode(tc.unicode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < len(got); i++ {
+			if got[i] >= 0x80 {
+				t.Fatalf("Encode(%q) produced non-ASCII byte", tc.unicode)
+			}
+		}
+	}
+}
+
+func TestEncodeInvalidUTF8(t *testing.T) {
+	if _, err := Encode("abc\xff"); !errors.Is(err, ErrInvalidRune) {
+		t.Errorf("err = %v, want ErrInvalidRune", err)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		input string
+	}{
+		{"non-ascii-input", "abc\x80def"},
+		{"invalid-digit", "ab-!!"},
+		{"truncated", "a-b"},
+		{"surrogate-range", "ab-9999999999"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Decode(tc.input); err == nil {
+				t.Errorf("Decode(%q) succeeded, want error", tc.input)
+			}
+		})
+	}
+}
+
+func TestDecodeSingleDigitIsFirstNonBasic(t *testing.T) {
+	// n starts at U+0080, so the smallest decodable insertion is U+0080
+	// itself; a decoded basic code point is impossible by construction.
+	got, err := Decode("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "" {
+		t.Errorf("Decode(\"a\") = %q, want U+0080", got)
+	}
+}
+
+// randomLabel builds a label mixing ASCII and non-ASCII code points from
+// scripts the paper's corpus covers.
+func randomLabel(r *rand.Rand) string {
+	pools := [][]rune{
+		[]rune("abcdefghijklmnopqrstuvwxyz0123456789-"),
+		[]rune("господинпочта"),                    // Cyrillic
+		[]rune("中国互联网络信息中心微博客"),                    // Han
+		[]rune("ひらがなカタカナ"),                         // Japanese kana
+		[]rune("한국어도메인"),                           // Hangul
+		[]rune("ไทยโดเมน"),                         // Thai
+		[]rune("àáâãäåçèéêëìíîïñòóôõöùúûüýÿāęłőž"), // Latin w/ diacritics
+	}
+	n := 1 + r.Intn(24)
+	out := make([]rune, 0, n)
+	for i := 0; i < n; i++ {
+		pool := pools[r.Intn(len(pools))]
+		out = append(out, pool[r.Intn(len(pool))])
+	}
+	return string(out)
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(20180625))
+	for i := 0; i < 3000; i++ {
+		label := randomLabel(r)
+		enc, err := Encode(label)
+		if err != nil {
+			t.Fatalf("Encode(%q): %v", label, err)
+		}
+		dec, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("Decode(%q) from %q: %v", enc, label, err)
+		}
+		if dec != label {
+			t.Fatalf("round trip failed: %q -> %q -> %q", label, enc, dec)
+		}
+	}
+}
+
+func TestRoundTripQuick(t *testing.T) {
+	f := func(raw []uint16) bool {
+		// Build a valid label from arbitrary 16-bit values, skipping
+		// surrogates and control chars.
+		runes := make([]rune, 0, len(raw))
+		for _, v := range raw {
+			r := rune(v)
+			if r < 0x20 || (r >= 0xD800 && r <= 0xDFFF) {
+				continue
+			}
+			runes = append(runes, r)
+		}
+		label := string(runes)
+		if !utf8.ValidString(label) {
+			return true
+		}
+		enc, err := Encode(label)
+		if err != nil {
+			return false
+		}
+		dec, err := Decode(enc)
+		return err == nil && dec == label
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodePureASCIIAddsDelimiter(t *testing.T) {
+	// Per raw Bootstring, a pure-ASCII label encodes to itself plus the
+	// trailing delimiter (see the RFC "costs" sample). idna layers the
+	// "only encode when non-ASCII present" rule on top.
+	got, err := Encode("abc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "abc-" {
+		t.Errorf("Encode(\"abc\") = %q, want \"abc-\"", got)
+	}
+}
+
+func TestDecodeOverflow(t *testing.T) {
+	// A long run of 'z' digits multiplies the weight beyond range.
+	if _, err := Decode("a-" + strings.Repeat("z", 64)); !errors.Is(err, ErrOverflow) && err == nil {
+		t.Error("expected overflow or bad-input error")
+	}
+}
+
+func BenchmarkEncodeShortCJK(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Encode("中国"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncodeLongMixed(b *testing.B) {
+	label := "Hello-Another-Way-それぞれの場所"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Encode(label); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeLongMixed(b *testing.B) {
+	enc := "Hello-Another-Way--fc4qua05auwb3674vfr0b"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,308 @@
+package registrar
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"idnlab/internal/confusables"
+	"idnlab/internal/idna"
+)
+
+func TestBasicRegistrationFlow(t *testing.T) {
+	srs := NewSRS("com", "net")
+	godaddy := &Registrar{Name: "GoDaddy.com, LLC.", SRS: srs}
+
+	receipt, err := godaddy.Register(Request{Label: "波色", TLD: "com", RegistrantEmail: "x@qq.com"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if receipt.ACE != "xn--0wwy37b.com" || receipt.Unicode != "波色.com" {
+		t.Errorf("receipt = %+v", receipt)
+	}
+	if receipt.Registrar != "GoDaddy.com, LLC." {
+		t.Errorf("registrar attribution missing: %+v", receipt)
+	}
+	if !srs.Registered("xn--0wwy37b", "com") {
+		t.Error("name not installed")
+	}
+}
+
+func TestASCIIRegistration(t *testing.T) {
+	srs := NewSRS("com")
+	if _, err := srs.Submit(Request{Label: "example", TLD: "com"}); err != nil {
+		t.Fatal(err)
+	}
+	if !srs.Registered("example", "com") {
+		t.Error("ASCII name not installed")
+	}
+}
+
+func TestDuplicateRejected(t *testing.T) {
+	srs := NewSRS("com")
+	if _, err := srs.Submit(Request{Label: "中国", TLD: "com"}); err != nil {
+		t.Fatal(err)
+	}
+	// The Unicode form and its ACE form are the same name.
+	if _, err := srs.Submit(Request{Label: "中国", TLD: "com"}); !errors.Is(err, ErrTaken) {
+		t.Errorf("duplicate unicode: err = %v", err)
+	}
+	if _, err := srs.Submit(Request{Label: "xn--fiqs8s", TLD: "com"}); !errors.Is(err, ErrTaken) {
+		t.Errorf("duplicate via ACE: err = %v", err)
+	}
+}
+
+func TestUnsupportedTLD(t *testing.T) {
+	srs := NewSRS("com")
+	if _, err := srs.Submit(Request{Label: "a", TLD: "xyz"}); !errors.Is(err, ErrUnsupportedTLD) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestInvalidNameRejected(t *testing.T) {
+	srs := NewSRS("com")
+	for _, label := range []string{"", "-bad", "bad-", "has space", strings.Repeat("a", 64)} {
+		if _, err := srs.Submit(Request{Label: label, TLD: "com"}); err == nil {
+			t.Errorf("label %q accepted", label)
+		}
+	}
+}
+
+// TestPaperRegistrationExperiment reproduces §VI-D: "we sampled 10
+// homographic IDNs ... and attempted to register them through GoDaddy.
+// All our requests were approved." Without registry screening every
+// homographic candidate must be approved.
+func TestPaperRegistrationExperiment(t *testing.T) {
+	srs := NewSRS("com")
+	godaddy := &Registrar{Name: "GoDaddy.com, LLC.", SRS: srs}
+	tab := confusables.Default()
+	candidates := tab.Variants("eay") // the paper registered xn--eay-6xy.com etc.
+	candidates = append(candidates, tab.Variants("sn")...)
+	if len(candidates) < 10 {
+		t.Fatalf("only %d candidates", len(candidates))
+	}
+	approved := 0
+	for _, label := range candidates[:10] {
+		if _, err := godaddy.Register(Request{Label: label, TLD: "com"}); err != nil {
+			t.Errorf("candidate %q refused: %v", label, err)
+			continue
+		}
+		approved++
+	}
+	if approved != 10 {
+		t.Errorf("approved %d/10; the paper's experiment had all approved", approved)
+	}
+}
+
+// TestBrandProtectionScreen verifies the §VIII recommendation: with the
+// CNNIC-style screen installed, homographic, Type-1 and Type-2 requests
+// are refused while legitimate IDNs still register.
+func TestBrandProtectionScreen(t *testing.T) {
+	srs := NewSRS("com", "net")
+	srs.AddScreen(NewBrandProtection(1000))
+
+	refusals := []Request{
+		{Label: "аpple", TLD: "com"},   // homograph (Cyrillic а)
+		{Label: "gооgle", TLD: "com"},  // homograph (Cyrillic о)
+		{Label: "apple邮箱", TLD: "com"}, // Type-1
+		{Label: "58汽车", TLD: "com"},    // Type-1
+		{Label: "格力空调", TLD: "net"},    // Type-2 (paper Table X)
+	}
+	for _, req := range refusals {
+		if _, err := srs.Submit(req); !errors.Is(err, ErrScreened) {
+			t.Errorf("request %q: err = %v, want screening refusal", req.Label, err)
+		}
+	}
+
+	legitimate := []Request{
+		{Label: "波色", TLD: "com"},
+		{Label: "bücher", TLD: "com"},
+		{Label: "한국어", TLD: "com"},
+		{Label: "my-brand-new-site", TLD: "com"},
+	}
+	for _, req := range legitimate {
+		if _, err := srs.Submit(req); err != nil {
+			t.Errorf("legitimate %q refused: %v", req.Label, err)
+		}
+	}
+}
+
+func TestScreenFunc(t *testing.T) {
+	srs := NewSRS("com")
+	srs.AddScreen(ScreenFunc(func(label, tld string) error {
+		if strings.Contains(label, "forbidden") {
+			return errors.New("policy")
+		}
+		return nil
+	}))
+	if _, err := srs.Submit(Request{Label: "forbidden-word", TLD: "com"}); !errors.Is(err, ErrScreened) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := srs.Submit(Request{Label: "allowed", TLD: "com"}); err != nil {
+		t.Errorf("allowed refused: %v", err)
+	}
+}
+
+func TestZoneExport(t *testing.T) {
+	srs := NewSRS("com")
+	for _, label := range []string{"中国", "example", "波色"} {
+		if _, err := srs.Submit(Request{Label: label, TLD: "com"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	z, err := srs.Zone("com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z.Origin != "com" || len(z.Records) != 3 {
+		t.Errorf("zone = %+v", z)
+	}
+	// The exported zone must scan back to the same registrations.
+	slds := z.SLDs()
+	if len(slds) != 3 {
+		t.Errorf("SLDs = %v", slds)
+	}
+	for _, sld := range slds {
+		label := strings.TrimSuffix(sld, ".com")
+		if !srs.Registered(label, "com") {
+			t.Errorf("scanned %q not registered", sld)
+		}
+	}
+	if _, err := srs.Zone("nope"); !errors.Is(err, ErrUnsupportedTLD) {
+		t.Errorf("Zone(nope) err = %v", err)
+	}
+}
+
+func TestConcurrentRegistrations(t *testing.T) {
+	srs := NewSRS("com")
+	const workers = 8
+	const perWorker = 50
+	var wg sync.WaitGroup
+	errs := make(chan error, workers*perWorker)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				label := fmt.Sprintf("worker%d-name%d", w, i)
+				if _, err := srs.Submit(Request{Label: label, TLD: "com"}); err != nil {
+					errs <- err
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if srs.Count("com") != workers*perWorker {
+		t.Errorf("Count = %d, want %d", srs.Count("com"), workers*perWorker)
+	}
+}
+
+func TestConcurrentSameNameExactlyOneWins(t *testing.T) {
+	srs := NewSRS("com")
+	const contenders = 16
+	var wg sync.WaitGroup
+	wins := make(chan struct{}, contenders)
+	for i := 0; i < contenders; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := srs.Submit(Request{Label: "中国", TLD: "com"}); err == nil {
+				wins <- struct{}{}
+			}
+		}()
+	}
+	wg.Wait()
+	close(wins)
+	n := 0
+	for range wins {
+		n++
+	}
+	if n != 1 {
+		t.Errorf("winners = %d, want exactly 1", n)
+	}
+}
+
+func TestReceiptACEMatchesIDNA(t *testing.T) {
+	srs := NewSRS("com")
+	receipt, err := srs.Submit(Request{Label: "北京交通大学", TLD: "com"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := idna.ToASCII("北京交通大学.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if receipt.ACE != want {
+		t.Errorf("ACE = %q, want %q", receipt.ACE, want)
+	}
+}
+
+func BenchmarkSubmit(b *testing.B) {
+	srs := NewSRS("com")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = srs.Submit(Request{Label: fmt.Sprintf("bench%d", i), TLD: "com"})
+	}
+}
+
+func BenchmarkSubmitWithScreening(b *testing.B) {
+	srs := NewSRS("com")
+	srs.AddScreen(NewBrandProtection(1000))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = srs.Submit(Request{Label: fmt.Sprintf("bench%d", i), TLD: "com"})
+	}
+}
+
+func TestPhoneticProtectionScreen(t *testing.T) {
+	srs := NewSRS("com")
+	srs.AddScreen(NewPhoneticProtection(1000))
+
+	for _, label := range []string{"gugel", "googel", "phacebook", "amazzon", "kwik"} {
+		_, err := srs.Submit(Request{Label: label, TLD: "com"})
+		if label == "kwik" {
+			// kwik has no brand counterpart in the list; must pass.
+			if err != nil {
+				t.Errorf("kwik refused: %v", err)
+			}
+			continue
+		}
+		if !errors.Is(err, ErrScreened) {
+			t.Errorf("sound-alike %q: err = %v, want screening refusal", label, err)
+		}
+	}
+	// The brand itself may register.
+	if _, err := srs.Submit(Request{Label: "google", TLD: "com"}); err != nil {
+		t.Errorf("brand's own label refused: %v", err)
+	}
+	// Unrelated names pass.
+	if _, err := srs.Submit(Request{Label: "my-new-startup", TLD: "com"}); err != nil {
+		t.Errorf("unrelated refused: %v", err)
+	}
+}
+
+func TestNameprepCollapsesFullwidthAttack(t *testing.T) {
+	srs := NewSRS("com")
+	if _, err := srs.Submit(Request{Label: "google", TLD: "com"}); err != nil {
+		t.Fatal(err)
+	}
+	// A fullwidth lookalike maps to the same name and must be refused as
+	// taken, not registered as a distinct IDN.
+	if _, err := srs.Submit(Request{Label: "ｇｏｏｇｌｅ", TLD: "com"}); !errors.Is(err, ErrTaken) {
+		t.Errorf("fullwidth attack: err = %v, want ErrTaken", err)
+	}
+	// Zero-width insertion likewise collapses.
+	if _, err := srs.Submit(Request{Label: "goo​gle", TLD: "com"}); !errors.Is(err, ErrTaken) {
+		t.Errorf("zero-width attack: err = %v, want ErrTaken", err)
+	}
+	// All-invisible labels are refused outright.
+	if _, err := srs.Submit(Request{Label: "​‍", TLD: "com"}); err == nil {
+		t.Error("invisible label accepted")
+	}
+}

@@ -1,0 +1,88 @@
+package registrar
+
+import (
+	"fmt"
+	"strings"
+
+	"idnlab/internal/brands"
+	"idnlab/internal/core"
+	"idnlab/internal/phonetic"
+)
+
+// BrandProtection is the registry-side resemblance screen the paper's
+// §VIII recommends (and observes deployed by CNNIC on three TLDs): it
+// refuses registration requests that are visually confusable with a
+// protected brand (homograph), that embed a brand label beside foreign
+// keywords (Type-1 semantic), or that equal a known brand translation
+// (Type-2 semantic).
+type BrandProtection struct {
+	homograph *core.HomographDetector
+	semantic  *core.SemanticDetector
+	type2     *core.Type2Detector
+}
+
+// NewBrandProtection builds the screen over the top-k brand list.
+func NewBrandProtection(topK int) *BrandProtection {
+	return &BrandProtection{
+		homograph: core.NewHomographDetector(topK),
+		semantic:  core.NewSemanticDetector(topK),
+		type2:     core.NewType2Detector(nil),
+	}
+}
+
+var _ Screen = (*BrandProtection)(nil)
+
+// Check implements Screen: the label is evaluated as a domain under the
+// requested TLD by all three detectors.
+func (bp *BrandProtection) Check(label, tld string) error {
+	domain := label + "." + tld
+	if m, ok := bp.homograph.DetectOne(domain); ok {
+		return fmt.Errorf("visually resembles %s (SSIM %.3f)", m.Brand, m.SSIM)
+	}
+	if m, ok := bp.semantic.DetectOne(domain); ok {
+		return fmt.Errorf("embeds brand %s with keyword %q", m.Brand, m.Keyword)
+	}
+	if m, ok := bp.type2.DetectOne(domain); ok {
+		return fmt.Errorf("translates brand %s", m.Brand)
+	}
+	return nil
+}
+
+// PhoneticProtection refuses labels that read like a protected brand —
+// the "pronunciation" axis of the CNNIC-style resemblance check.
+type PhoneticProtection struct {
+	keys map[string]string // phonetic key -> brand domain
+}
+
+// NewPhoneticProtection builds the screen over the top-k brand list.
+func NewPhoneticProtection(topK int) *PhoneticProtection {
+	p := &PhoneticProtection{keys: make(map[string]string, topK)}
+	for _, b := range brands.TopK(topK) {
+		key := phonetic.Key(b.Label())
+		if key == "" {
+			continue
+		}
+		if _, dup := p.keys[key]; !dup {
+			p.keys[key] = b.Domain
+		}
+	}
+	return p
+}
+
+var _ Screen = (*PhoneticProtection)(nil)
+
+// Check implements Screen.
+func (p *PhoneticProtection) Check(label, tld string) error {
+	key := phonetic.Key(label)
+	if key == "" {
+		return nil
+	}
+	brand, ok := p.keys[key]
+	if !ok {
+		return nil
+	}
+	if label == strings.TrimSuffix(brand, "."+tld) || label+"."+tld == brand {
+		return nil // the brand itself may register its own name
+	}
+	return fmt.Errorf("reads like %s (phonetic key %q)", brand, key)
+}

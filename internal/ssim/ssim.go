@@ -1,0 +1,153 @@
+// Package ssim implements the Structural Similarity (SSIM) index of Wang,
+// Bovik, Sheikh and Simoncelli ("Image quality assessment: from error
+// visibility to structural similarity", IEEE TIP 2004) on grayscale images,
+// plus the mean-squared-error baseline the paper contrasts it with (§VI-B).
+//
+// The paper's homograph detector computes a pair-wise SSIM index between a
+// rendered IDN and each rendered brand domain, flagging the IDN as
+// homographic when the maximum index exceeds 0.95. SSIM outputs lie in
+// [-1, 1], with 1 meaning perfectly identical images.
+package ssim
+
+import (
+	"errors"
+	"image"
+	"math"
+)
+
+// Default parameters from the SSIM paper: an 8x8 sliding window and
+// stabilization constants derived from K1=0.01, K2=0.03 at dynamic range
+// L=255.
+const (
+	DefaultWindow = 8
+	k1            = 0.01
+	k2            = 0.03
+	dynamicRange  = 255.0
+)
+
+// ErrSizeMismatch reports two images with different dimensions; the caller
+// decides the padding policy (package glyph renders fixed-width pairs).
+var ErrSizeMismatch = errors.New("ssim: image dimensions differ")
+
+// Comparator computes SSIM indices with a fixed window size. The zero value
+// is not usable; use New.
+type Comparator struct {
+	window int
+	c1, c2 float64
+}
+
+// New returns a Comparator with the given sliding-window size. Sizes
+// smaller than 2 or larger than either image dimension at comparison time
+// degrade to a single global window.
+func New(window int) *Comparator {
+	if window < 2 {
+		window = 2
+	}
+	return &Comparator{
+		window: window,
+		c1:     (k1 * dynamicRange) * (k1 * dynamicRange),
+		c2:     (k2 * dynamicRange) * (k2 * dynamicRange),
+	}
+}
+
+// Index computes the mean SSIM index between two equal-sized grayscale
+// images: the per-window SSIM averaged over all window positions (stride 1).
+func (c *Comparator) Index(a, b *image.Gray) (float64, error) {
+	w, h := a.Rect.Dx(), a.Rect.Dy()
+	if w != b.Rect.Dx() || h != b.Rect.Dy() {
+		return 0, ErrSizeMismatch
+	}
+	if w == 0 || h == 0 {
+		return 1, nil // two empty images are identical
+	}
+	win := c.window
+	if win > w {
+		win = w
+	}
+	if win > h {
+		win = h
+	}
+	var sum float64
+	var count int
+	for y := 0; y+win <= h; y++ {
+		for x := 0; x+win <= w; x++ {
+			sum += c.windowSSIM(a, b, x, y, win)
+			count++
+		}
+	}
+	if count == 0 {
+		return c.windowSSIM(a, b, 0, 0, min(w, h)), nil
+	}
+	return sum / float64(count), nil
+}
+
+// windowSSIM computes the SSIM statistic over one win x win window.
+func (c *Comparator) windowSSIM(a, b *image.Gray, x0, y0, win int) float64 {
+	n := float64(win * win)
+	var sumA, sumB, sumAA, sumBB, sumAB float64
+	for y := y0; y < y0+win; y++ {
+		rowA := a.Pix[y*a.Stride:]
+		rowB := b.Pix[y*b.Stride:]
+		for x := x0; x < x0+win; x++ {
+			pa := float64(rowA[x])
+			pb := float64(rowB[x])
+			sumA += pa
+			sumB += pb
+			sumAA += pa * pa
+			sumBB += pb * pb
+			sumAB += pa * pb
+		}
+	}
+	muA := sumA / n
+	muB := sumB / n
+	varA := sumAA/n - muA*muA
+	varB := sumBB/n - muB*muB
+	covAB := sumAB/n - muA*muB
+	num := (2*muA*muB + c.c1) * (2*covAB + c.c2)
+	den := (muA*muA + muB*muB + c.c1) * (varA + varB + c.c2)
+	return num / den
+}
+
+// Index computes the mean SSIM index with the default window size.
+func Index(a, b *image.Gray) (float64, error) {
+	return New(DefaultWindow).Index(a, b)
+}
+
+// MSE computes the mean squared error between two equal-sized grayscale
+// images — the "traditional similarity metric" the paper contrasts SSIM
+// against. 0 means identical; larger is more different.
+func MSE(a, b *image.Gray) (float64, error) {
+	w, h := a.Rect.Dx(), a.Rect.Dy()
+	if w != b.Rect.Dx() || h != b.Rect.Dy() {
+		return 0, ErrSizeMismatch
+	}
+	if w == 0 || h == 0 {
+		return 0, nil
+	}
+	var sum float64
+	for y := 0; y < h; y++ {
+		rowA := a.Pix[y*a.Stride:]
+		rowB := b.Pix[y*b.Stride:]
+		for x := 0; x < w; x++ {
+			d := float64(rowA[x]) - float64(rowB[x])
+			sum += d * d
+		}
+	}
+	return sum / float64(w*h), nil
+}
+
+// PSNR computes peak signal-to-noise ratio in dB from an MSE value.
+// Identical images yield +Inf.
+func PSNR(mse float64) float64 {
+	if mse == 0 {
+		return math.Inf(1)
+	}
+	return 10 * math.Log10(dynamicRange*dynamicRange/mse)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,135 @@
+package webprobe
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestServeClassifyRoundTrip(t *testing.T) {
+	for _, state := range States() {
+		for variant := uint64(0); variant < 20; variant++ {
+			resp := Serve(state, "xn--0wwy37b.com", variant)
+			if got := Classify(resp); got != state {
+				t.Errorf("Classify(Serve(%v, variant %d)) = %v", state, variant, got)
+			}
+		}
+	}
+}
+
+func TestServeClassifyQuick(t *testing.T) {
+	states := States()
+	f := func(stateIdx uint8, variant uint64, domainSeed uint8) bool {
+		state := states[int(stateIdx)%len(states)]
+		domain := "xn--test" + string(rune('a'+domainSeed%26)) + ".com"
+		return Classify(Serve(state, domain, variant)) == state
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNotResolvedHasNoContent(t *testing.T) {
+	resp := Serve(NotResolved, "a.com", 0)
+	if resp.Resolved || resp.StatusCode != 0 || resp.Body != "" {
+		t.Errorf("NotResolved response not empty: %+v", resp)
+	}
+}
+
+func TestParkedCouplesToSharedCertCN(t *testing.T) {
+	resp := Serve(Parked, "a.com", 0)
+	if resp.ServerCN == "" {
+		t.Error("parked page should present a parking-service certificate CN")
+	}
+	found := false
+	for _, svc := range parkingServices {
+		if resp.ServerCN == svc {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("ServerCN %q not a parking service", resp.ServerCN)
+	}
+}
+
+func TestRedirectHasLocation(t *testing.T) {
+	resp := Serve(Redirected, "a.com", 1)
+	if resp.StatusCode < 300 || resp.StatusCode >= 400 || resp.Location == "" {
+		t.Errorf("redirect response wrong: %+v", resp)
+	}
+}
+
+func TestMeaningfulMentionsDomain(t *testing.T) {
+	resp := Serve(Meaningful, "xn--brand.com", 3)
+	if resp.StatusCode != 200 {
+		t.Errorf("status = %d", resp.StatusCode)
+	}
+	if got := Classify(resp); got != Meaningful {
+		t.Errorf("classified as %v", got)
+	}
+}
+
+func TestWeightsMatchTableV(t *testing.T) {
+	idn := IDNWeights()
+	if idn[NotResolved] != 228 || idn[Meaningful] != 99 {
+		t.Errorf("IDN weights = %v", idn)
+	}
+	sum := 0.0
+	for _, v := range idn {
+		sum += v
+	}
+	if sum != 500 {
+		t.Errorf("IDN weights sum = %v, want 500 (the paper's sample)", sum)
+	}
+	non := NonIDNWeights()
+	sum = 0
+	for _, v := range non {
+		sum += v
+	}
+	if sum != 500 {
+		t.Errorf("non-IDN weights sum = %v", sum)
+	}
+	if non[Meaningful] != 168 || non[Parked] != 107 {
+		t.Errorf("non-IDN weights = %v", non)
+	}
+}
+
+func TestCensus(t *testing.T) {
+	c := Census{NotResolved: 45, Meaningful: 20, Parked: 35}
+	if c.Total() != 100 {
+		t.Errorf("Total = %d", c.Total())
+	}
+	if got := c.Rate(NotResolved); got != 0.45 {
+		t.Errorf("Rate = %v", got)
+	}
+	var empty Census
+	if empty.Rate(Parked) != 0 {
+		t.Error("empty census rate should be 0")
+	}
+}
+
+func TestStateString(t *testing.T) {
+	if NotResolved.String() != "Not resolved" || Meaningful.String() != "Meaningful content" {
+		t.Error("String labels wrong")
+	}
+	if State(0).String() != "Unknown" {
+		t.Error("zero state should be Unknown")
+	}
+}
+
+func TestStripTags(t *testing.T) {
+	if got := stripTags("<html><body>hi <b>there</b></body></html>"); got != "hi there" {
+		t.Errorf("stripTags = %q", got)
+	}
+	if got := stripTags("no tags"); got != "no tags" {
+		t.Errorf("stripTags = %q", got)
+	}
+}
+
+func BenchmarkServeAndClassify(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		resp := Serve(Parked, "xn--bench.com", uint64(i))
+		if Classify(resp) != Parked {
+			b.Fatal("misclassified")
+		}
+	}
+}

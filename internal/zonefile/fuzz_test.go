@@ -1,0 +1,36 @@
+package zonefile
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParse ensures the parser never panics and that every successfully
+// parsed zone survives a write/parse round trip.
+func FuzzParse(f *testing.F) {
+	f.Add(sampleZone)
+	f.Add("$ORIGIN com.\n")
+	f.Add("$ORIGIN com.\n$TTL 60\nx IN NS y.\n")
+	f.Add("; only a comment\n")
+	f.Add("$TTL\n")
+	f.Add("$ORIGIN a.\nb 4294967295 IN A 1.2.3.4\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		z, err := Parse(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := z.Write(&buf); err != nil {
+			t.Fatalf("parsed zone cannot be written: %v", err)
+		}
+		back, err := Parse(&buf)
+		if err != nil {
+			t.Fatalf("canonical form does not re-parse: %v\n%s", err, buf.String())
+		}
+		if back.Origin != z.Origin || len(back.Records) != len(z.Records) {
+			t.Fatalf("round trip changed shape: %d vs %d records", len(back.Records), len(z.Records))
+		}
+		_ = Scan(z) // must not panic on any parsed zone
+	})
+}

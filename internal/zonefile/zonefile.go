@@ -1,0 +1,241 @@
+// Package zonefile reads and writes the subset of the DNS master-file
+// format (RFC 1035 §5) that TLD zone files use, and scans zones for
+// second-level domains. This is the ingestion path of the whole study: the
+// paper extracted 1.47M IDNs by scanning 154M SLDs across the com, net and
+// org zones plus 53 iTLD zones, matching the "xn--" ACE prefix.
+package zonefile
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"idnlab/internal/idna"
+)
+
+// Record is one resource record of a zone.
+type Record struct {
+	// Owner is the owner name relative to the zone origin (no trailing
+	// dot), e.g. "example" in the com zone.
+	Owner string
+	// TTL is the time-to-live in seconds; 0 means "use the zone default".
+	TTL uint32
+	// Type is the RR type mnemonic (NS, A, AAAA, DS...).
+	Type string
+	// Data is the record payload, e.g. the name-server target.
+	Data string
+}
+
+// Zone is a parsed TLD zone.
+type Zone struct {
+	// Origin is the zone apex without the trailing dot, e.g. "com" or
+	// "xn--fiqs8s".
+	Origin string
+	// DefaultTTL is the $TTL directive value.
+	DefaultTTL uint32
+	// Records holds the resource records in file order.
+	Records []Record
+}
+
+// Errors returned by Parse.
+var (
+	// ErrNoOrigin reports a zone file without an $ORIGIN directive.
+	ErrNoOrigin = errors.New("zonefile: missing $ORIGIN directive")
+	// ErrSyntax reports a malformed line.
+	ErrSyntax = errors.New("zonefile: syntax error")
+)
+
+// Parse reads a zone from r. Supported syntax: $ORIGIN and $TTL
+// directives, ';' comments, blank lines, and records of the form
+// "owner [ttl] [IN] type data...". Owner names may be absolute (trailing
+// dot) or relative to the origin.
+func Parse(r io.Reader) (*Zone, error) {
+	z := &Zone{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, ';'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "$ORIGIN":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("%w: line %d: $ORIGIN wants one argument", ErrSyntax, lineNo)
+			}
+			z.Origin = strings.TrimSuffix(strings.ToLower(fields[1]), ".")
+			continue
+		case "$TTL":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("%w: line %d: $TTL wants one argument", ErrSyntax, lineNo)
+			}
+			ttl, err := strconv.ParseUint(fields[1], 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("%w: line %d: bad TTL %q", ErrSyntax, lineNo, fields[1])
+			}
+			z.DefaultTTL = uint32(ttl)
+			continue
+		}
+		rec, err := parseRecord(fields)
+		if err != nil {
+			return nil, fmt.Errorf("%w: line %d: %v", ErrSyntax, lineNo, err)
+		}
+		z.Records = append(z.Records, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("zonefile: read: %w", err)
+	}
+	if z.Origin == "" {
+		return nil, ErrNoOrigin
+	}
+	return z, nil
+}
+
+// parseRecord interprets "owner [ttl] [IN] type data...".
+func parseRecord(fields []string) (Record, error) {
+	if len(fields) < 3 {
+		return Record{}, errors.New("record needs owner, type and data")
+	}
+	rec := Record{Owner: strings.ToLower(fields[0])}
+	i := 1
+	if ttl, err := strconv.ParseUint(fields[i], 10, 32); err == nil {
+		rec.TTL = uint32(ttl)
+		i++
+	}
+	if i < len(fields) && strings.EqualFold(fields[i], "IN") {
+		i++
+	}
+	if i >= len(fields) {
+		return Record{}, errors.New("record missing type")
+	}
+	rec.Type = strings.ToUpper(fields[i])
+	i++
+	if i >= len(fields) {
+		return Record{}, errors.New("record missing data")
+	}
+	rec.Data = strings.Join(fields[i:], " ")
+	return rec, nil
+}
+
+// Write serializes the zone in canonical form: $ORIGIN, $TTL, then records
+// in file order.
+func (z *Zone) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "$ORIGIN %s.\n", z.Origin); err != nil {
+		return fmt.Errorf("zonefile: write: %w", err)
+	}
+	if z.DefaultTTL > 0 {
+		if _, err := fmt.Fprintf(bw, "$TTL %d\n", z.DefaultTTL); err != nil {
+			return fmt.Errorf("zonefile: write: %w", err)
+		}
+	}
+	for _, rec := range z.Records {
+		var err error
+		if rec.TTL > 0 {
+			_, err = fmt.Fprintf(bw, "%s %d IN %s %s\n", rec.Owner, rec.TTL, rec.Type, rec.Data)
+		} else {
+			_, err = fmt.Fprintf(bw, "%s IN %s %s\n", rec.Owner, rec.Type, rec.Data)
+		}
+		if err != nil {
+			return fmt.Errorf("zonefile: write: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("zonefile: flush: %w", err)
+	}
+	return nil
+}
+
+// SLDs returns the distinct second-level domains delegated by the zone
+// ("<label>.<origin>"), sorted. Multi-label owners (glue like
+// ns1.example) contribute their top label only; absolute owner names
+// outside the origin are ignored.
+func (z *Zone) SLDs() []string {
+	set := make(map[string]struct{}, len(z.Records))
+	for _, rec := range z.Records {
+		label, ok := z.sldLabel(rec.Owner)
+		if !ok {
+			continue
+		}
+		set[label+"."+z.Origin] = struct{}{}
+	}
+	out := make([]string, 0, len(set))
+	for d := range set {
+		out = append(out, d)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// sldLabel extracts the delegated label from an owner name.
+func (z *Zone) sldLabel(owner string) (string, bool) {
+	if owner == "" || owner == "@" {
+		return "", false
+	}
+	if strings.HasSuffix(owner, ".") {
+		// Absolute: must end with ".<origin>."
+		trimmed := strings.TrimSuffix(owner, ".")
+		suffix := "." + z.Origin
+		if !strings.HasSuffix(trimmed, suffix) {
+			return "", false
+		}
+		trimmed = strings.TrimSuffix(trimmed, suffix)
+		if trimmed == "" {
+			return "", false
+		}
+		owner = trimmed
+	}
+	// Relative, possibly multi-label (glue): keep the label closest to
+	// the origin.
+	if i := strings.LastIndexByte(owner, '.'); i >= 0 {
+		owner = owner[i+1:]
+	}
+	if owner == "" {
+		return "", false
+	}
+	return owner, true
+}
+
+// ScanStats summarizes one zone scan — a row of the paper's Table I.
+type ScanStats struct {
+	// Origin is the zone scanned.
+	Origin string
+	// SLDCount is the number of distinct delegated SLDs.
+	SLDCount int
+	// IDNs holds the discovered IDN SLDs (ACE form), sorted.
+	IDNs []string
+}
+
+// Scan extracts the SLD population and the IDN subset from a zone — the
+// paper's discovery step ("we searched substring xn-- in TLDs"). For iTLD
+// zones (IDN origin), every SLD is an IDN by construction.
+func Scan(z *Zone) ScanStats {
+	slds := z.SLDs()
+	st := ScanStats{Origin: z.Origin, SLDCount: len(slds)}
+	itld := idna.IsACELabel(z.Origin)
+	for _, d := range slds {
+		if itld || idna.IsIDN(d) {
+			st.IDNs = append(st.IDNs, d)
+		}
+	}
+	return st
+}
+
+// ScanReader parses and scans in one step, for streaming pipelines.
+func ScanReader(r io.Reader) (ScanStats, error) {
+	z, err := Parse(r)
+	if err != nil {
+		return ScanStats{}, err
+	}
+	return Scan(z), nil
+}
