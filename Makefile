@@ -2,8 +2,9 @@
 # Names" (DSN 2018). Stdlib-only Go module.
 
 GO ?= go
+FUZZTIME ?= 10s
 
-.PHONY: all build vet test race bench report fuzz clean
+.PHONY: all build vet test race bench report fuzz fuzz-smoke clean
 
 all: build vet test
 
@@ -27,12 +28,17 @@ bench:
 report:
 	$(GO) run ./cmd/idnreport -seed 2018 -scale 100
 
-# Short fuzz passes over the codecs.
+# Short fuzz passes over the codecs (FUZZTIME=2s for the CI smoke).
 fuzz:
-	$(GO) test -fuzz=FuzzDecode -fuzztime=10s ./internal/punycode/
-	$(GO) test -fuzz=FuzzEncode -fuzztime=10s ./internal/punycode/
-	$(GO) test -fuzz=FuzzParse -fuzztime=10s ./internal/zonefile/
-	$(GO) test -fuzz=FuzzDecode -fuzztime=10s ./internal/dnssim/
+	$(GO) test -fuzz=FuzzDecode -fuzztime=$(FUZZTIME) ./internal/punycode/
+	$(GO) test -fuzz=FuzzEncode -fuzztime=$(FUZZTIME) ./internal/punycode/
+	$(GO) test -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/zonefile/
+	$(GO) test -fuzz=FuzzScanStream -fuzztime=$(FUZZTIME) ./internal/zonefile/
+	$(GO) test -fuzz=FuzzDecode -fuzztime=$(FUZZTIME) ./internal/dnssim/
+
+# Reduced-budget fuzz pass for CI.
+fuzz-smoke:
+	$(MAKE) fuzz FUZZTIME=2s
 
 clean:
 	$(GO) clean ./...

@@ -10,7 +10,9 @@ package idnlab
 //	go test -bench=BenchmarkTable13 -v   # rows included
 
 import (
+	"context"
 	"io"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
@@ -130,6 +132,78 @@ func itoa(n int) string {
 		n /= 10
 	}
 	return string(buf[i:])
+}
+
+// --- Scan-engine benchmarks: the perf trajectory of internal/pipeline.
+// Run with -benchmem; B/s is corpus bytes scanned per second. ---
+
+// corpusBytes sums the ACE byte length of the scan corpus for SetBytes.
+func corpusBytes(domains []string) int64 {
+	var n int64
+	for _, d := range domains {
+		n += int64(len(d))
+	}
+	return n
+}
+
+// benchWorkerCounts is {1, 4, GOMAXPROCS} with duplicates removed, so
+// the sub-benchmark names stay unique on small machines where
+// GOMAXPROCS is 1 or 4.
+func benchWorkerCounts() []int {
+	counts := []int{1, 4}
+	if p := runtime.GOMAXPROCS(0); p != 1 && p != 4 {
+		counts = append(counts, p)
+	}
+	return counts
+}
+
+// BenchmarkPipelineHomograph scans the full seed corpus through the
+// streaming engine at 1, 4 and GOMAXPROCS workers. workers-1 is the
+// sequential baseline; the acceptance bar is ≥2× at workers-4.
+func BenchmarkPipelineHomograph(b *testing.B) {
+	corpus := study(b).DS.IDNs
+	nbytes := corpusBytes(corpus)
+	for _, workers := range benchWorkerCounts() {
+		b.Run("workers-"+itoa(workers), func(b *testing.B) {
+			cfg := core.DetectorConfig{TopK: 1000}
+			b.SetBytes(nbytes)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := core.ScanHomograph(context.Background(), cfg, corpus, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPipelineSemantic is the Type-1 scan through the same engine.
+func BenchmarkPipelineSemantic(b *testing.B) {
+	corpus := study(b).DS.IDNs
+	nbytes := corpusBytes(corpus)
+	for _, workers := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		b.Run("workers-"+itoa(workers), func(b *testing.B) {
+			b.SetBytes(nbytes)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := core.ScanSemantic(context.Background(), 1000, corpus, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSequentialHomograph is the no-engine baseline the pipeline
+// numbers are judged against (same corpus, one resident detector).
+func BenchmarkSequentialHomograph(b *testing.B) {
+	corpus := study(b).DS.IDNs
+	det := core.NewHomographDetector(1000)
+	b.SetBytes(corpusBytes(corpus))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = det.Detect(corpus)
+	}
 }
 
 // --- Ablations: the design choices DESIGN.md calls out. ---

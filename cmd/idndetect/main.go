@@ -3,20 +3,28 @@
 // standalone tool. Domains are read from arguments or stdin (one per
 // line), in either Unicode or Punycode form.
 //
+// Classification fans across a worker pipeline with one detector set per
+// worker (the homograph renderer is not safe for concurrent use); the
+// order-preserving fan-in keeps output in input order, so results are
+// byte-identical to a sequential run. Ctrl-C cancels cleanly.
+//
 // Usage:
 //
 //	idndetect xn--pple-43d.com apple邮箱.com example.com
-//	cat suspicious.txt | idndetect -threshold 0.985
+//	cat suspicious.txt | idndetect -threshold 0.985 -workers 8 -metrics
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"idnlab/internal/core"
 	"idnlab/internal/idna"
+	"idnlab/internal/pipeline"
 )
 
 func main() {
@@ -26,17 +34,31 @@ func main() {
 	}
 }
 
+// detectors is the per-worker state: one instance of each detector.
+type detectors struct {
+	homo  *core.HomographDetector
+	sem   *core.SemanticDetector
+	type2 *core.Type2Detector
+}
+
+// verdict is one classified domain, already formatted for output.
+type verdict struct {
+	line    string
+	flagged bool
+}
+
 func run() error {
 	var (
 		threshold = flag.Float64("threshold", core.DefaultSSIMThreshold, "SSIM detection threshold")
 		topK      = flag.Int("brands", 1000, "number of top brands to defend")
 		quiet     = flag.Bool("q", false, "print only matching domains")
+		workers   = flag.Int("workers", 0, "detection fan-out (0 = GOMAXPROCS)")
+		metrics   = flag.Bool("metrics", false, "print pipeline metrics to stderr after the run")
 	)
 	flag.Parse()
 
-	homo := core.NewHomographDetector(*topK, core.WithThreshold(*threshold))
-	sem := core.NewSemanticDetector(*topK)
-	type2 := core.NewType2Detector(nil)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	domains := flag.Args()
 	if len(domains) == 0 {
@@ -54,32 +76,55 @@ func run() error {
 		return fmt.Errorf("no domains given (pass arguments or pipe to stdin)")
 	}
 
-	flagged := 0
-	for _, d := range domains {
-		if m, ok := homo.DetectOne(d); ok {
-			fmt.Printf("HOMOGRAPH %s\n", m)
-			flagged++
-			continue
-		}
-		if m, ok := sem.DetectOne(d); ok {
-			fmt.Printf("SEMANTIC  %s\n", m)
-			flagged++
-			continue
-		}
-		if m, ok := type2.DetectOne(d); ok {
-			fmt.Printf("TYPE2     %s\n", m)
-			flagged++
-			continue
-		}
-		if !*quiet {
-			uni, err := idna.ToUnicode(d)
-			if err != nil {
-				fmt.Printf("INVALID   %s (%v)\n", d, err)
-				continue
+	eng := pipeline.New(
+		pipeline.Config{Stage: "detect", Workers: *workers},
+		func() detectors {
+			return detectors{
+				homo:  core.NewHomographDetector(*topK, core.WithThreshold(*threshold)),
+				sem:   core.NewSemanticDetector(*topK),
+				type2: core.NewType2Detector(nil),
 			}
-			fmt.Printf("clean     %s (%s)\n", d, uni)
+		},
+		func(d detectors, domain string) (verdict, bool, error) {
+			return classify(d, domain, *quiet)
+		})
+
+	flagged := 0
+	err := eng.Stream(ctx, pipeline.FromSlice(domains), func(v verdict) error {
+		if v.flagged {
+			flagged++
 		}
+		fmt.Println(v.line)
+		return nil
+	})
+	if *metrics {
+		fmt.Fprintln(os.Stderr, eng.Metrics())
+	}
+	if err != nil {
+		return err
 	}
 	fmt.Fprintf(os.Stderr, "%d of %d domains flagged\n", flagged, len(domains))
 	return nil
+}
+
+// classify runs the detector cascade on one domain. ok=false drops the
+// domain from the output (clean domains under -q).
+func classify(d detectors, domain string, quiet bool) (verdict, bool, error) {
+	if m, ok := d.homo.DetectOne(domain); ok {
+		return verdict{line: fmt.Sprintf("HOMOGRAPH %s", m), flagged: true}, true, nil
+	}
+	if m, ok := d.sem.DetectOne(domain); ok {
+		return verdict{line: fmt.Sprintf("SEMANTIC  %s", m), flagged: true}, true, nil
+	}
+	if m, ok := d.type2.DetectOne(domain); ok {
+		return verdict{line: fmt.Sprintf("TYPE2     %s", m), flagged: true}, true, nil
+	}
+	if quiet {
+		return verdict{}, false, nil
+	}
+	uni, err := idna.ToUnicode(domain)
+	if err != nil {
+		return verdict{line: fmt.Sprintf("INVALID   %s (%v)", domain, err)}, true, nil
+	}
+	return verdict{line: fmt.Sprintf("clean     %s (%s)", domain, uni)}, true, nil
 }

@@ -35,6 +35,8 @@ func run() error {
 		scale    = flag.Int("scale", zonegen.DefaultScale, "down-scaling divisor (1 = paper scale)")
 		only     = flag.String("only", "", "run a single experiment, e.g. table2, figure7")
 		jsonMode = flag.Bool("json", false, "emit machine-readable JSON instead of the text report")
+		workers  = flag.Int("workers", 0, "corpus-scan fan-out (0 = GOMAXPROCS, 1 = sequential)")
+		metrics  = flag.Bool("metrics", false, "print per-scan pipeline metrics to stderr")
 	)
 	flag.Parse()
 
@@ -45,6 +47,15 @@ func run() error {
 	}
 	fmt.Fprintf(os.Stderr, "assembled %d IDNs, %d non-IDNs\n", len(ds.IDNs), len(ds.NonIDNs))
 	st := core.NewStudy(ds)
+	st.ScanWorkers = *workers
+	defer func() {
+		if !*metrics {
+			return
+		}
+		for _, m := range st.ScanMetrics() {
+			fmt.Fprintln(os.Stderr, m)
+		}
+	}()
 
 	if *jsonMode {
 		return st.WriteJSON(os.Stdout)

@@ -31,9 +31,12 @@
 package idnlab
 
 import (
+	"context"
+
 	"idnlab/internal/browser"
 	"idnlab/internal/core"
 	"idnlab/internal/idna"
+	"idnlab/internal/pipeline"
 	"idnlab/internal/punycode"
 	"idnlab/internal/zonegen"
 )
@@ -57,8 +60,11 @@ type (
 	Type2Detector = core.Type2Detector
 	// Type2Match is a Type-2 detection result.
 	Type2Match = core.Type2Match
-	// DetectorConfig configures per-worker detectors for DetectParallel.
+	// DetectorConfig configures per-worker detectors for pipelined scans.
 	DetectorConfig = core.DetectorConfig
+	// ScanMetrics is a per-stage snapshot of a pipelined corpus scan:
+	// items in/out, errors, per-worker busy time, throughput.
+	ScanMetrics = pipeline.Metrics
 	// GenConfig parameterizes synthetic-universe generation.
 	GenConfig = zonegen.Config
 	// Registry is the generated synthetic universe.
@@ -126,8 +132,26 @@ func NewType2Detector(dict map[string][]string) *Type2Detector {
 
 // DetectParallel scans a corpus for homographic IDNs with a worker pool,
 // producing the same result as a sequential Detect.
+//
+// Deprecated: use ScanHomograph, which honors context cancellation and
+// reports per-stage metrics.
 func DetectParallel(cfg DetectorConfig, domains []string, workers int) []HomographMatch {
 	return core.DetectParallel(cfg, domains, workers)
+}
+
+// ScanHomograph scans a corpus for homographic IDNs through the
+// streaming pipeline engine: one detector per worker, order-preserving
+// fan-in, clean cancellation via ctx. The matches are identical to a
+// sequential Detect (sorted by brand then domain); workers <= 0 selects
+// GOMAXPROCS.
+func ScanHomograph(ctx context.Context, cfg DetectorConfig, domains []string, workers int) ([]HomographMatch, ScanMetrics, error) {
+	return core.ScanHomograph(ctx, cfg, domains, workers)
+}
+
+// ScanSemantic scans a corpus for Type-1 semantic IDNs through the
+// streaming pipeline engine; same contract as ScanHomograph.
+func ScanSemantic(ctx context.Context, topK int, domains []string, workers int) ([]SemanticMatch, ScanMetrics, error) {
+	return core.ScanSemantic(ctx, topK, domains, workers)
 }
 
 // ToASCII converts a Unicode domain to its ASCII-compatible (Punycode)

@@ -157,12 +157,7 @@ func (d *HomographDetector) Detect(domains []string) []HomographMatch {
 			out = append(out, m)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Brand != out[j].Brand {
-			return out[i].Brand < out[j].Brand
-		}
-		return out[i].Domain < out[j].Domain
-	})
+	sortHomographMatches(out)
 	return out
 }
 
@@ -243,12 +238,7 @@ func (d *SemanticDetector) Detect(domains []string) []SemanticMatch {
 			out = append(out, m)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Brand != out[j].Brand {
-			return out[i].Brand < out[j].Brand
-		}
-		return out[i].Domain < out[j].Domain
-	})
+	sortSemanticMatches(out)
 	return out
 }
 

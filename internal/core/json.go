@@ -75,7 +75,7 @@ func (st *Study) Results() Results {
 		out.TopRegistrants = append(out.TopRegistrants, GroupCountJSON{Key: gc.Key, Count: gc.Count})
 	}
 
-	homo := st.Homograph.Detect(st.DS.IDNs)
+	homo := st.homographMatches()
 	out.Homographs.Total = len(homo)
 	out.Homographs.Matches = homo
 	out.Homographs.ByBrand = RankBrands(homo, func(m HomographMatch) string { return m.Brand })
@@ -88,7 +88,7 @@ func (st *Study) Results() Results {
 		}
 	}
 
-	sem := st.Semantic.Detect(st.DS.IDNs)
+	sem := st.semanticMatches()
 	out.Semantic.Total = len(sem)
 	out.Semantic.Matches = sem
 	out.Semantic.ByBrand = RankBrands(sem, func(m SemanticMatch) string { return m.Brand })

@@ -1,16 +1,22 @@
 package core
 
-import (
-	"runtime"
-	"sort"
-	"sync"
-)
+import "context"
 
 // Parallel corpus scanning. The paper's brute-force sweep took 102 hours
-// on a single 4 GB machine; the detector here is already prefiltered, but
-// corpus scans remain embarrassingly parallel. HomographDetector is not
-// safe for concurrent use (the renderer keeps a glyph cache), so the pool
-// builds one detector per worker from a shared configuration.
+// on a single 4 GB machine; corpus scans are embarrassingly parallel, and
+// HomographDetector is not safe for concurrent use (the renderer keeps a
+// glyph cache), so the pool builds one detector per worker from a shared
+// configuration.
+//
+// The original hand-rolled pool sharded the corpus into fixed chunks of
+// ceil(len/workers) items, which had a worker-count edge: whenever
+// len(domains) was not close to a multiple of the chunk size (e.g. 8
+// domains across 6 workers → chunk 2 → only 4 shards), some workers never
+// received a shard and the requested fan-out silently degraded. The
+// streaming engine in internal/pipeline distributes items one at a time
+// instead of precomputing shards, so every worker draws from the same
+// bounded queue and the edge cannot occur; TestScanWorkerCountEdge pins
+// the regression.
 
 // DetectorConfig captures how to build identical detector instances for a
 // worker pool.
@@ -24,70 +30,16 @@ type DetectorConfig struct {
 // DetectParallel scans the corpus for homographic IDNs with one detector
 // per worker. workers <= 0 selects GOMAXPROCS. The result is identical to
 // a sequential Detect: sorted by brand then domain.
+//
+// Deprecated: DetectParallel is a thin wrapper kept for API
+// compatibility. New code should call ScanHomograph, which additionally
+// honors context cancellation and reports per-stage metrics.
 func DetectParallel(cfg DetectorConfig, domains []string, workers int) []HomographMatch {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	out, _, err := ScanHomograph(context.Background(), cfg, domains, workers)
+	if err != nil {
+		// Unreachable: the slice source cannot fail, the detector Func
+		// never errors, and the background context is never cancelled.
+		panic("core: DetectParallel: " + err.Error())
 	}
-	if workers > len(domains) {
-		workers = len(domains)
-	}
-	if workers <= 1 {
-		return NewHomographDetector(cfg.TopK, cfg.Options...).Detect(domains)
-	}
-
-	type shard struct {
-		idx     int
-		matches []HomographMatch
-	}
-	jobs := make(chan int, workers)
-	results := make(chan shard, workers)
-	chunk := (len(domains) + workers - 1) / workers
-
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			det := NewHomographDetector(cfg.TopK, cfg.Options...)
-			for idx := range jobs {
-				lo := idx * chunk
-				hi := lo + chunk
-				if hi > len(domains) {
-					hi = len(domains)
-				}
-				var ms []HomographMatch
-				for _, d := range domains[lo:hi] {
-					if m, ok := det.DetectOne(d); ok {
-						ms = append(ms, m)
-					}
-				}
-				results <- shard{idx: idx, matches: ms}
-			}
-		}()
-	}
-	nShards := (len(domains) + chunk - 1) / chunk
-	go func() {
-		for i := 0; i < nShards; i++ {
-			jobs <- i
-		}
-		close(jobs)
-		wg.Wait()
-		close(results)
-	}()
-
-	collected := make([][]HomographMatch, nShards)
-	for sh := range results {
-		collected[sh.idx] = sh.matches
-	}
-	var out []HomographMatch
-	for _, ms := range collected {
-		out = append(out, ms...)
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Brand != out[j].Brand {
-			return out[i].Brand < out[j].Brand
-		}
-		return out[i].Domain < out[j].Domain
-	})
 	return out
 }

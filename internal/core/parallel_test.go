@@ -5,6 +5,10 @@ import (
 	"testing"
 )
 
+// These tests pin the deprecated DetectParallel wrapper; the pipeline
+// engine behind it gets its own property/equivalence, cancellation and
+// worker-edge coverage in scan_test.go.
+
 func TestDetectParallelMatchesSequential(t *testing.T) {
 	corpus := testDS.IDNs
 	cfg := DetectorConfig{TopK: 1000}

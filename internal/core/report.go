@@ -1,29 +1,47 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"idnlab/internal/brands"
 	"idnlab/internal/idna"
 	"io"
 	"sort"
 	"strings"
+	"sync"
 	"text/tabwriter"
 
 	"idnlab/internal/browser"
 	"idnlab/internal/glyph"
 	"idnlab/internal/langid"
+	"idnlab/internal/pipeline"
 	"idnlab/internal/stats"
 	"idnlab/internal/webprobe"
 	"idnlab/internal/zonegen"
 )
 
 // Study runs the complete measurement over a dataset and renders every
-// table and figure of the paper.
+// table and figure of the paper. Corpus-scale detector scans (Tables IX,
+// XIII, XIV; Figures 5, 8) run through the internal/pipeline streaming
+// engine with ScanWorkers-wide fan-out; the engine's ordering guarantee
+// makes the rendered output byte-identical to the sequential scans.
 type Study struct {
 	DS         *Dataset
 	Classifier *langid.Classifier
 	Homograph  *HomographDetector
 	Semantic   *SemanticDetector
+
+	// ScanWorkers is the fan-out of pipelined corpus scans; 0 selects
+	// GOMAXPROCS, 1 forces a single worker.
+	ScanWorkers int
+	// ScanConfig builds the per-worker homograph detectors for
+	// pipelined scans (its TopK also sizes the semantic detector). It
+	// must agree with the Homograph/Semantic fields for the report's
+	// example sections to match its corpus sections.
+	ScanConfig DetectorConfig
+
+	mu          sync.Mutex
+	scanMetrics []pipeline.Metrics
 }
 
 // NewStudy wires a study over an assembled dataset with default
@@ -34,7 +52,47 @@ func NewStudy(ds *Dataset) *Study {
 		Classifier: langid.New(),
 		Homograph:  NewHomographDetector(1000),
 		Semantic:   NewSemanticDetector(1000),
+		ScanConfig: DetectorConfig{TopK: 1000},
 	}
+}
+
+// homographMatches runs the corpus homograph scan through the pipeline,
+// recording its metrics.
+func (st *Study) homographMatches() []HomographMatch {
+	matches, m, err := ScanHomograph(context.Background(), st.ScanConfig, st.DS.IDNs, st.ScanWorkers)
+	if err != nil {
+		// Unreachable with a background context and a slice source.
+		panic("core: homograph scan: " + err.Error())
+	}
+	st.recordScan(m)
+	return matches
+}
+
+// semanticMatches runs the corpus Type-1 scan through the pipeline,
+// recording its metrics.
+func (st *Study) semanticMatches() []SemanticMatch {
+	matches, m, err := ScanSemantic(context.Background(), st.ScanConfig.TopK, st.DS.IDNs, st.ScanWorkers)
+	if err != nil {
+		panic("core: semantic scan: " + err.Error())
+	}
+	st.recordScan(m)
+	return matches
+}
+
+func (st *Study) recordScan(m pipeline.Metrics) {
+	st.mu.Lock()
+	st.scanMetrics = append(st.scanMetrics, m)
+	st.mu.Unlock()
+}
+
+// ScanMetrics returns one Metrics snapshot per pipelined corpus scan the
+// study has run so far, in execution order.
+func (st *Study) ScanMetrics() []pipeline.Metrics {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make([]pipeline.Metrics, len(st.scanMetrics))
+	copy(out, st.scanMetrics)
+	return out
 }
 
 // Run executes every experiment and writes the full report to w.
@@ -250,7 +308,7 @@ func (st *Study) ReportTable8(w io.Writer) error {
 
 // ReportTable9 renders Type-1 semantic examples (Tables IX/X shape).
 func (st *Study) ReportTable9(w io.Writer) error {
-	matches := st.Semantic.Detect(st.DS.IDNs)
+	matches := st.semanticMatches()
 	tw := newTab(w)
 	fmt.Fprintln(tw, "TABLE IX: Examples of Type-1 semantic abuse")
 	fmt.Fprintln(tw, "Punycode\tUnicode\tBrand")
@@ -297,7 +355,7 @@ func (st *Study) ReportTable12(w io.Writer) error {
 
 // ReportTable13 renders the homograph brand ranking (Table XIII).
 func (st *Study) ReportTable13(w io.Writer) error {
-	matches := st.Homograph.Detect(st.DS.IDNs)
+	matches := st.homographMatches()
 	ranking := RankBrands(matches, func(m HomographMatch) string { return m.Brand })
 	identical := 0
 	for _, m := range matches {
@@ -336,7 +394,7 @@ func (st *Study) ReportTable13(w io.Writer) error {
 
 // ReportFigure5 renders the homographic-IDN DNS activity (Figure 5).
 func (st *Study) ReportFigure5(w io.Writer) error {
-	matches := st.Homograph.Detect(st.DS.IDNs)
+	matches := st.homographMatches()
 	domains := make([]string, len(matches))
 	for i, m := range matches {
 		domains[i] = m.Domain
@@ -389,7 +447,7 @@ func (st *Study) ReportFigure7(w io.Writer) error {
 
 // ReportTable14 renders the Type-1 brand ranking (Table XIV).
 func (st *Study) ReportTable14(w io.Writer) error {
-	matches := st.Semantic.Detect(st.DS.IDNs)
+	matches := st.semanticMatches()
 	ranking := RankBrands(matches, func(m SemanticMatch) string { return m.Brand })
 	tw := newTab(w)
 	fmt.Fprintf(tw, "TABLE XIV: Type-1 semantic IDNs (total %d)\n", len(matches))
@@ -405,7 +463,7 @@ func (st *Study) ReportTable14(w io.Writer) error {
 
 // ReportFigure8 renders the Type-1 DNS activity (Figure 8).
 func (st *Study) ReportFigure8(w io.Writer) error {
-	matches := st.Semantic.Detect(st.DS.IDNs)
+	matches := st.semanticMatches()
 	domains := make([]string, len(matches))
 	for i, m := range matches {
 		domains[i] = m.Domain

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"context"
+	"sort"
+
+	"idnlab/internal/pipeline"
+)
+
+// Pipelined corpus scans. The paper's brute-force homograph sweep took
+// 102 hours on a single machine (§VI-B); these scans push the same
+// detectors through internal/pipeline's streaming engine: bounded input,
+// one private detector per worker (the homograph renderer's glyph cache
+// is not safe for concurrent use), order-preserving fan-in, per-stage
+// metrics, and clean cancellation.
+//
+// The output contract is identical to the sequential Detect methods:
+// matches sorted by brand then domain, byte for byte. The equivalence is
+// pinned by property tests in scan_test.go across randomized corpora.
+
+// sortHomographMatches applies the canonical output ordering shared by
+// Detect, DetectParallel and ScanHomograph.
+func sortHomographMatches(out []HomographMatch) {
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Brand != out[j].Brand {
+			return out[i].Brand < out[j].Brand
+		}
+		return out[i].Domain < out[j].Domain
+	})
+}
+
+// sortSemanticMatches is the semantic detector's canonical ordering.
+func sortSemanticMatches(out []SemanticMatch) {
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Brand != out[j].Brand {
+			return out[i].Brand < out[j].Brand
+		}
+		return out[i].Domain < out[j].Domain
+	})
+}
+
+// NewHomographEngine builds a reusable pipeline stage that fans a domain
+// stream across per-worker homograph detectors. workers <= 0 selects
+// GOMAXPROCS.
+func NewHomographEngine(cfg DetectorConfig, workers int) *pipeline.Engine[string, HomographMatch, *HomographDetector] {
+	return pipeline.New(
+		pipeline.Config{Stage: "homograph", Workers: workers},
+		func() *HomographDetector { return NewHomographDetector(cfg.TopK, cfg.Options...) },
+		func(d *HomographDetector, domain string) (HomographMatch, bool, error) {
+			m, ok := d.DetectOne(domain)
+			return m, ok, nil
+		})
+}
+
+// NewSemanticEngine builds a reusable pipeline stage for Type-1 semantic
+// detection with per-worker detectors.
+func NewSemanticEngine(topK, workers int) *pipeline.Engine[string, SemanticMatch, *SemanticDetector] {
+	return pipeline.New(
+		pipeline.Config{Stage: "semantic", Workers: workers},
+		func() *SemanticDetector { return NewSemanticDetector(topK) },
+		func(d *SemanticDetector, domain string) (SemanticMatch, bool, error) {
+			m, ok := d.DetectOne(domain)
+			return m, ok, nil
+		})
+}
+
+// ScanHomograph scans the corpus for homographic IDNs through the
+// streaming engine and returns the matches (sorted by brand then domain,
+// identical to a sequential Detect), plus the scan's metrics. It honors
+// ctx cancellation mid-corpus: on cancel it drains cleanly and returns
+// ctx.Err().
+func ScanHomograph(ctx context.Context, cfg DetectorConfig, domains []string, workers int) ([]HomographMatch, pipeline.Metrics, error) {
+	eng := NewHomographEngine(cfg, workers)
+	out, err := eng.Collect(ctx, pipeline.FromSlice(domains))
+	if err != nil {
+		return nil, eng.Metrics(), err
+	}
+	sortHomographMatches(out)
+	return out, eng.Metrics(), nil
+}
+
+// ScanSemantic scans the corpus for Type-1 semantic IDNs through the
+// streaming engine; same contract as ScanHomograph.
+func ScanSemantic(ctx context.Context, topK int, domains []string, workers int) ([]SemanticMatch, pipeline.Metrics, error) {
+	eng := NewSemanticEngine(topK, workers)
+	out, err := eng.Collect(ctx, pipeline.FromSlice(domains))
+	if err != nil {
+		return nil, eng.Metrics(), err
+	}
+	sortSemanticMatches(out)
+	return out, eng.Metrics(), nil
+}

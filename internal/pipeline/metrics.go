@@ -1,0 +1,120 @@
+package pipeline
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Metrics is a point-in-time snapshot of one engine's counters. Counts
+// accumulate over the engine's lifetime; subtract two snapshots to meter
+// a single scan.
+type Metrics struct {
+	// Stage is the configured stage name.
+	Stage string
+	// Workers is the resolved fan-out width.
+	Workers int
+	// In counts items accepted from the source.
+	In uint64
+	// Out counts results delivered to the sink (post-filter).
+	Out uint64
+	// Errors counts Func invocations that returned an error.
+	Errors uint64
+	// Elapsed is the total wall time spent inside Stream/Collect.
+	Elapsed time.Duration
+	// Busy is the per-worker time spent inside Func calls.
+	Busy []time.Duration
+}
+
+// Throughput reports input items per second of wall time.
+func (m Metrics) Throughput() float64 {
+	if m.Elapsed <= 0 {
+		return 0
+	}
+	return float64(m.In) / m.Elapsed.Seconds()
+}
+
+// Utilization reports the mean fraction of wall time the workers spent
+// processing items — 1.0 means every worker was busy the whole scan,
+// low values point at input starvation or fan-in backpressure.
+func (m Metrics) Utilization() float64 {
+	if m.Elapsed <= 0 || m.Workers == 0 {
+		return 0
+	}
+	var busy time.Duration
+	for _, b := range m.Busy {
+		busy += b
+	}
+	return busy.Seconds() / (m.Elapsed.Seconds() * float64(m.Workers))
+}
+
+// Sub returns the delta m−prev, for metering one scan of a reused
+// engine.
+func (m Metrics) Sub(prev Metrics) Metrics {
+	d := m
+	d.In -= prev.In
+	d.Out -= prev.Out
+	d.Errors -= prev.Errors
+	d.Elapsed -= prev.Elapsed
+	d.Busy = make([]time.Duration, len(m.Busy))
+	for i := range m.Busy {
+		d.Busy[i] = m.Busy[i]
+		if i < len(prev.Busy) {
+			d.Busy[i] -= prev.Busy[i]
+		}
+	}
+	return d
+}
+
+// String renders a one-line summary for -metrics output.
+func (m Metrics) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "stage=%s workers=%d in=%d out=%d errors=%d elapsed=%s throughput=%.0f/s utilization=%.0f%%",
+		m.Stage, m.Workers, m.In, m.Out, m.Errors,
+		m.Elapsed.Round(time.Millisecond), m.Throughput(), 100*m.Utilization())
+	return sb.String()
+}
+
+// meter holds the engine's live counters. All fields are updated with
+// atomics so Metrics() is safe during a scan.
+type meter struct {
+	stage   string
+	workers int
+	in      atomic.Uint64
+	out     atomic.Uint64
+	errors  atomic.Uint64
+	elapsed atomic.Int64 // nanoseconds
+	busy    []atomic.Int64
+}
+
+func newMeter(stage string, workers int) *meter {
+	if stage == "" {
+		stage = "scan"
+	}
+	return &meter{stage: stage, workers: workers, busy: make([]atomic.Int64, workers)}
+}
+
+func (m *meter) addBusy(worker int, d time.Duration) {
+	m.busy[worker].Add(int64(d))
+}
+
+func (m *meter) addElapsed(d time.Duration) {
+	m.elapsed.Add(int64(d))
+}
+
+func (m *meter) snapshot() Metrics {
+	s := Metrics{
+		Stage:   m.stage,
+		Workers: m.workers,
+		In:      m.in.Load(),
+		Out:     m.out.Load(),
+		Errors:  m.errors.Load(),
+		Elapsed: time.Duration(m.elapsed.Load()),
+		Busy:    make([]time.Duration, len(m.busy)),
+	}
+	for i := range m.busy {
+		s.Busy[i] = time.Duration(m.busy[i].Load())
+	}
+	return s
+}

@@ -1,0 +1,206 @@
+package zonefile
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"idnlab/internal/idna"
+)
+
+// Streaming ingestion. Parse materializes every record of a zone before
+// anything can be scanned — fine for the synthetic fixtures, fatal for
+// real TLD snapshots (the paper scanned 154M SLDs across com/net/org).
+// Scanner walks a zone record by record with O(1) memory, and ScanStream
+// runs the SLD/IDN discovery on top of it holding only the set of
+// distinct SLD names — records, glue and payloads are never resident.
+
+// Scanner reads a zone incrementally. Typical use:
+//
+//	s := zonefile.NewScanner(r)
+//	for s.Next() {
+//	    rec := s.Record()
+//	    ...
+//	}
+//	if err := s.Err(); err != nil { ... }
+//
+// Unlike Parse, which applies the zone's final $ORIGIN to every record,
+// Scanner interprets directives positionally: Origin reports the value
+// in effect at the current record (the streaming-correct reading; the
+// two agree on any zone in canonical Write form, where $ORIGIN leads).
+type Scanner struct {
+	sc     *bufio.Scanner
+	origin string
+	ttl    uint32
+	rec    Record
+	line   int
+	err    error
+}
+
+// NewScanner builds a streaming reader over a master-format zone.
+func NewScanner(r io.Reader) *Scanner {
+	return &Scanner{sc: newLineScanner(r)}
+}
+
+// Next advances to the following record, interpreting $ORIGIN and $TTL
+// directives along the way. It returns false at end of input or on
+// error; Err disambiguates.
+func (s *Scanner) Next() bool {
+	if s.err != nil {
+		return false
+	}
+	for s.sc.Scan() {
+		s.line++
+		line := s.sc.Text()
+		if i := strings.IndexByte(line, ';'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "$ORIGIN":
+			if len(fields) != 2 {
+				s.err = fmt.Errorf("%w: line %d: $ORIGIN wants one argument", ErrSyntax, s.line)
+				return false
+			}
+			s.origin = strings.TrimSuffix(strings.ToLower(fields[1]), ".")
+			continue
+		case "$TTL":
+			if len(fields) != 2 {
+				s.err = fmt.Errorf("%w: line %d: $TTL wants one argument", ErrSyntax, s.line)
+				return false
+			}
+			ttl, err := strconv.ParseUint(fields[1], 10, 32)
+			if err != nil {
+				s.err = fmt.Errorf("%w: line %d: bad TTL %q", ErrSyntax, s.line, fields[1])
+				return false
+			}
+			s.ttl = uint32(ttl)
+			continue
+		}
+		rec, err := parseRecord(fields)
+		if err != nil {
+			s.err = fmt.Errorf("%w: line %d: %v", ErrSyntax, s.line, err)
+			return false
+		}
+		s.rec = rec
+		return true
+	}
+	if err := s.sc.Err(); err != nil {
+		s.err = fmt.Errorf("zonefile: read: %w", err)
+	}
+	return false
+}
+
+// Record returns the record produced by the last successful Next.
+func (s *Scanner) Record() Record { return s.rec }
+
+// Origin returns the zone origin in effect ("" until an $ORIGIN
+// directive has been read).
+func (s *Scanner) Origin() string { return s.origin }
+
+// DefaultTTL returns the $TTL value in effect.
+func (s *Scanner) DefaultTTL() uint32 { return s.ttl }
+
+// Err returns the first error encountered, if any.
+func (s *Scanner) Err() error { return s.err }
+
+// cancelCheckInterval is how many records ScanStream processes between
+// context polls.
+const cancelCheckInterval = 512
+
+// ScanStream runs the discovery scan (distinct SLDs, IDN subset — the
+// paper's "searched substring xn-- in TLDs" step) over a zone without
+// materializing its records. Memory is O(distinct SLDs), not O(records):
+// glue, payloads and duplicate owners are folded away as the stream
+// passes. If emit is non-nil it is called once per newly discovered IDN
+// SLD in encounter order, feeding streaming pipelines; the returned
+// ScanStats is identical to Scan(Parse(r)) for single-$ORIGIN zones
+// (IDNs sorted).
+//
+// ctx cancellation aborts the scan between records with ctx.Err().
+func ScanStream(ctx context.Context, r io.Reader, emit func(domain string) error) (ScanStats, error) {
+	s := NewScanner(r)
+	seen := make(map[string]struct{})
+	// Owners read before the $ORIGIN directive cannot be resolved to
+	// SLD names yet; hold the owners (only) until the origin appears.
+	var preOrigin []string
+	var st ScanStats
+	itld := false
+
+	flush := func(owner string) error {
+		label, ok := sldLabel(st.Origin, owner)
+		if !ok {
+			return nil
+		}
+		name := label + "." + st.Origin
+		if _, dup := seen[name]; dup {
+			return nil
+		}
+		seen[name] = struct{}{}
+		if itld || idna.IsIDN(name) {
+			st.IDNs = append(st.IDNs, name)
+			if emit != nil {
+				return emit(name)
+			}
+		}
+		return nil
+	}
+
+	n := 0
+	for s.Next() {
+		n++
+		if n%cancelCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return ScanStats{}, err
+			}
+		}
+		owner := s.Record().Owner
+		if s.Origin() == "" {
+			preOrigin = append(preOrigin, owner)
+			continue
+		}
+		if st.Origin == "" {
+			st.Origin = s.Origin()
+			itld = idna.IsACELabel(st.Origin)
+			for _, o := range preOrigin {
+				if err := flush(o); err != nil {
+					return ScanStats{}, err
+				}
+			}
+			preOrigin = nil
+		}
+		if err := flush(owner); err != nil {
+			return ScanStats{}, err
+		}
+	}
+	if err := s.Err(); err != nil {
+		return ScanStats{}, err
+	}
+	if err := ctx.Err(); err != nil {
+		return ScanStats{}, err
+	}
+	if s.Origin() == "" {
+		return ScanStats{}, ErrNoOrigin
+	}
+	if st.Origin == "" {
+		// The $ORIGIN directive arrived after the last record (or the
+		// zone has no records): resolve any held owners against it.
+		st.Origin = s.Origin()
+		itld = idna.IsACELabel(st.Origin)
+		for _, o := range preOrigin {
+			if err := flush(o); err != nil {
+				return ScanStats{}, err
+			}
+		}
+	}
+	st.SLDCount = len(seen)
+	sort.Strings(st.IDNs)
+	return st, nil
+}

@@ -55,8 +55,7 @@ var (
 // dot) or relative to the origin.
 func Parse(r io.Reader) (*Zone, error) {
 	z := &Zone{}
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	sc := newLineScanner(r)
 	lineNo := 0
 	for sc.Scan() {
 		lineNo++
@@ -99,6 +98,14 @@ func Parse(r io.Reader) (*Zone, error) {
 		return nil, ErrNoOrigin
 	}
 	return z, nil
+}
+
+// newLineScanner builds the line reader shared by Parse and Scanner,
+// with headroom for long record lines.
+func newLineScanner(r io.Reader) *bufio.Scanner {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	return sc
 }
 
 // parseRecord interprets "owner [ttl] [IN] type data...".
@@ -179,13 +186,20 @@ func (z *Zone) SLDs() []string {
 
 // sldLabel extracts the delegated label from an owner name.
 func (z *Zone) sldLabel(owner string) (string, bool) {
+	return sldLabel(z.Origin, owner)
+}
+
+// sldLabel extracts the delegated label from an owner name relative to
+// origin — shared by the materialized (Zone.SLDs) and streaming
+// (ScanStream) paths.
+func sldLabel(origin, owner string) (string, bool) {
 	if owner == "" || owner == "@" {
 		return "", false
 	}
 	if strings.HasSuffix(owner, ".") {
 		// Absolute: must end with ".<origin>."
 		trimmed := strings.TrimSuffix(owner, ".")
-		suffix := "." + z.Origin
+		suffix := "." + origin
 		if !strings.HasSuffix(trimmed, suffix) {
 			return "", false
 		}
