@@ -3,8 +3,13 @@
 
 GO ?= go
 FUZZTIME ?= 10s
+# Benchtime for bench-ssim: default 1s for publishable numbers; the CI
+# smoke uses 10x (timing is noisy at 10x, but allocs/op stays exact, so
+# the zero-alloc gate still fails loudly on regressions).
+SSIM_BENCHTIME ?= 1s
+SSIM_BENCH_PATTERN = ^(BenchmarkScore|BenchmarkWithoutPrefilter|BenchmarkSSIMKernel|BenchmarkSSIMKernelNaive|BenchmarkMSEKernel|BenchmarkMSEKernelNaive|BenchmarkRenderWidthInto|BenchmarkPipelineHomograph)$$
 
-.PHONY: all build vet test race bench report fuzz fuzz-smoke clean
+.PHONY: all build vet test race bench bench-ssim report fuzz fuzz-smoke clean
 
 all: build vet test
 
@@ -23,6 +28,17 @@ race:
 # One benchmark per paper table/figure plus ablations; -v includes rows.
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# SSIM hot-path benchmarks (PR 2): kernel + scan numbers into
+# BENCH_ssim.json (old-vs-new ns/op, B/op, allocs/op against the recorded
+# pre-optimization baseline). Exits non-zero if any steady-state path
+# allocates. CI smoke: `make bench-ssim SSIM_BENCHTIME=10x`.
+bench-ssim:
+	$(GO) test -run='^$$' -bench '$(SSIM_BENCH_PATTERN)' -benchmem -benchtime=$(SSIM_BENCHTIME) . \
+	  | $(GO) run ./cmd/benchjson \
+	      -baseline BENCH_baseline_ssim.txt \
+	      -out BENCH_ssim.json \
+	      -require-zero-allocs BenchmarkScore,BenchmarkSSIMKernel,BenchmarkMSEKernel,BenchmarkRenderWidthInto
 
 # The full study: every table and figure at 1/100 of the paper's corpus.
 report:

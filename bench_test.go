@@ -11,6 +11,7 @@ package idnlab
 
 import (
 	"context"
+	"image"
 	"io"
 	"runtime"
 	"strings"
@@ -158,13 +159,13 @@ func benchWorkerCounts() []int {
 }
 
 // BenchmarkPipelineHomograph scans the full seed corpus through the
-// streaming engine at 1, 4 and GOMAXPROCS workers. workers-1 is the
-// sequential baseline; the acceptance bar is ≥2× at workers-4.
+// streaming engine at 1, 4 and GOMAXPROCS workers. workers=1 is the
+// sequential baseline; the acceptance bar is ≥2× at workers=4.
 func BenchmarkPipelineHomograph(b *testing.B) {
 	corpus := study(b).DS.IDNs
 	nbytes := corpusBytes(corpus)
 	for _, workers := range benchWorkerCounts() {
-		b.Run("workers-"+itoa(workers), func(b *testing.B) {
+		b.Run("workers="+itoa(workers), func(b *testing.B) {
 			cfg := core.DetectorConfig{TopK: 1000}
 			b.SetBytes(nbytes)
 			b.ResetTimer()
@@ -182,7 +183,7 @@ func BenchmarkPipelineSemantic(b *testing.B) {
 	corpus := study(b).DS.IDNs
 	nbytes := corpusBytes(corpus)
 	for _, workers := range []int{1, 4, runtime.GOMAXPROCS(0)} {
-		b.Run("workers-"+itoa(workers), func(b *testing.B) {
+		b.Run("workers="+itoa(workers), func(b *testing.B) {
 			b.SetBytes(nbytes)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -277,6 +278,126 @@ func BenchmarkAblationWindowSize(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// --- SSIM hot-path benchmarks (PR 2): the integral-image kernel, the
+// brand-raster cache and the zero-alloc render path. `make bench-ssim`
+// runs these and writes BENCH_ssim.json with old-vs-new numbers against
+// the committed pre-PR baseline (BENCH_baseline_ssim.txt). ---
+
+// BenchmarkScore times one detector Score call (single pair, steady
+// state): candidate rendered into the reusable scratch, brand raster from
+// the prerendered cache, one integral-image SSIM. The acceptance bar is
+// ≥5× over the pre-PR baseline with 0 allocs/op.
+func BenchmarkScore(b *testing.B) {
+	det := core.NewHomographDetector(1000)
+	label, brand := "facebооk", "facebook" // Cyrillic о's
+	if det.Score(label, brand) <= 0 {
+		b.Fatal("sanity: score should be positive")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = det.Score(label, brand)
+	}
+}
+
+// BenchmarkWithoutPrefilter is the paper's brute-force pair-wise sweep
+// (§VI-B, 102 hours on their testbed) over a fixed 300-domain slice —
+// every candidate against every length-compatible brand, no skeleton
+// prefilter. This is the workload the integral-image kernel and raster
+// caches exist for.
+func BenchmarkWithoutPrefilter(b *testing.B) {
+	corpus := study(b).DS.IDNs
+	if len(corpus) > 300 {
+		corpus = corpus[:300]
+	}
+	brute := core.NewHomographDetector(1000, core.WithoutPrefilter())
+	b.SetBytes(corpusBytes(corpus))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = brute.Detect(corpus)
+	}
+}
+
+// benchKernelPair renders the fixed domain pair the kernel benchmarks
+// compare.
+func benchKernelPair() (x, y *image.Gray) {
+	re := glyph.NewRenderer()
+	width := len("facebook.com") * glyph.CellWidth
+	return re.RenderWidth("facebook.com", width), re.RenderWidth("faceboôk.com", width)
+}
+
+// BenchmarkSSIMKernel times the integral-image SSIM kernel on one
+// rendered domain pair (no rendering in the loop).
+func BenchmarkSSIMKernel(b *testing.B) {
+	x, y := benchKernelPair()
+	c := ssim.New(ssim.DefaultWindow)
+	b.SetBytes(int64(len(x.Pix) + len(y.Pix)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Index(x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSSIMKernelNaive is the retained O(W·H·win²) reference kernel
+// on the same pair — the in-tree half of the old-vs-new comparison.
+func BenchmarkSSIMKernelNaive(b *testing.B) {
+	x, y := benchKernelPair()
+	c := ssim.New(ssim.DefaultWindow)
+	b.SetBytes(int64(len(x.Pix) + len(y.Pix)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.IndexNaive(x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMSEKernel times the summed-area-table MSE on the same pair.
+func BenchmarkMSEKernel(b *testing.B) {
+	x, y := benchKernelPair()
+	c := ssim.New(ssim.DefaultWindow)
+	b.SetBytes(int64(len(x.Pix) + len(y.Pix)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.MSE(x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMSEKernelNaive is the direct-summation MSE reference.
+func BenchmarkMSEKernelNaive(b *testing.B) {
+	x, y := benchKernelPair()
+	b.SetBytes(int64(len(x.Pix) + len(y.Pix)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ssim.MSE(x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRenderWidthInto times the zero-alloc candidate render path in
+// isolation (reused caller-owned buffer).
+func BenchmarkRenderWidthInto(b *testing.B) {
+	re := glyph.NewRenderer()
+	width := len("facebook.com") * glyph.CellWidth
+	var buf *image.Gray
+	b.SetBytes(int64(width * glyph.CellHeight))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = re.RenderWidthInto(buf, "faceboôk.com", width)
 	}
 }
 

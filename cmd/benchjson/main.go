@@ -1,0 +1,268 @@
+// Command benchjson turns `go test -bench` output into a machine-readable
+// old-vs-new comparison. It reads the current benchmark run from stdin,
+// the committed pre-optimization baseline from a raw bench-output file,
+// and writes a JSON document pairing every benchmark's old and new ns/op,
+// B/op and allocs/op with the derived speedup.
+//
+// It is the engine behind `make bench-ssim`, which tracks the PR-2
+// homograph hot path (integral-image SSIM kernel, brand-raster cache,
+// zero-alloc rendering):
+//
+//	go test -run=NONE -bench '...' -benchmem | \
+//	    go run ./cmd/benchjson -baseline BENCH_baseline_ssim.txt \
+//	        -out BENCH_ssim.json \
+//	        -require-zero-allocs BenchmarkScore,BenchmarkSSIMKernel
+//
+// The -require-zero-allocs gate makes allocation regressions on the
+// steady-state paths fail loudly (exit 1) even in CI smoke mode
+// (-benchtime=10x), where timing numbers are too noisy to gate on but
+// allocs/op is deterministic. -min-speedup optionally gates headline
+// ratios on full runs.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Metrics is one benchmark line's numbers.
+type Metrics struct {
+	NsPerOp     float64  `json:"ns_per_op"`
+	BytesPerOp  *float64 `json:"b_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+	MBPerSec    *float64 `json:"mb_per_s,omitempty"`
+}
+
+// Entry pairs a benchmark's baseline and current numbers.
+type Entry struct {
+	Old *Metrics `json:"old,omitempty"`
+	New *Metrics `json:"new,omitempty"`
+	// SpeedupNs is old ns/op divided by new ns/op (>1 means faster now).
+	SpeedupNs *float64 `json:"speedup_ns,omitempty"`
+}
+
+// Report is the BENCH_ssim.json document.
+type Report struct {
+	Generated    string           `json:"generated"`
+	BaselineFile string           `json:"baseline_file"`
+	Note         string           `json:"note"`
+	Benchmarks   map[string]Entry `json:"benchmarks"`
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "", "raw `go test -bench` output recorded before the optimization")
+	outPath := flag.String("out", "", "output JSON path (default stdout)")
+	zeroAllocs := flag.String("require-zero-allocs", "", "comma-separated benchmark names whose current allocs/op must be 0")
+	minSpeedup := flag.String("min-speedup", "", "comma-separated name=factor gates on old/new ns-per-op ratio")
+	flag.Parse()
+
+	current, err := parseBench(os.Stdin)
+	if err != nil {
+		fatalf("parse current run: %v", err)
+	}
+	if len(current) == 0 {
+		fatalf("no benchmark lines on stdin (did the bench pattern match anything?)")
+	}
+	baseline := map[string]Metrics{}
+	if *baselinePath != "" {
+		f, err := os.Open(*baselinePath)
+		if err != nil {
+			fatalf("open baseline: %v", err)
+		}
+		baseline, err = parseBench(f)
+		f.Close()
+		if err != nil {
+			fatalf("parse baseline: %v", err)
+		}
+	}
+
+	rep := Report{
+		Generated:    time.Now().UTC().Format(time.RFC3339),
+		BaselineFile: *baselinePath,
+		Note: "old = pre-optimization baseline (recorded bench output); " +
+			"new = this run; speedup_ns = old/new. Machines may differ from " +
+			"the baseline host; allocs/op is the portable gate.",
+		Benchmarks: map[string]Entry{},
+	}
+	for name, m := range current {
+		mm := m
+		e := Entry{New: &mm}
+		if old, ok := baseline[name]; ok {
+			oo := old
+			e.Old = &oo
+			if m.NsPerOp > 0 {
+				s := old.NsPerOp / m.NsPerOp
+				e.SpeedupNs = &s
+			}
+		}
+		rep.Benchmarks[name] = e
+	}
+	// Baseline-only rows (benchmark renamed or removed) are kept visible.
+	for name, old := range baseline {
+		if _, ok := rep.Benchmarks[name]; !ok {
+			oo := old
+			rep.Benchmarks[name] = Entry{Old: &oo}
+		}
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatalf("marshal: %v", err)
+	}
+	buf = append(buf, '\n')
+	if *outPath == "" {
+		os.Stdout.Write(buf)
+	} else if err := os.WriteFile(*outPath, buf, 0o644); err != nil {
+		fatalf("write %s: %v", *outPath, err)
+	}
+
+	failed := false
+	for _, name := range splitList(*zeroAllocs) {
+		m, ok := current[name]
+		switch {
+		case !ok:
+			fmt.Fprintf(os.Stderr, "benchjson: FAIL %s: not present in this run\n", name)
+			failed = true
+		case m.AllocsPerOp == nil:
+			fmt.Fprintf(os.Stderr, "benchjson: FAIL %s: no allocs/op column (run with -benchmem or b.ReportAllocs)\n", name)
+			failed = true
+		case *m.AllocsPerOp != 0:
+			fmt.Fprintf(os.Stderr, "benchjson: FAIL %s: %v allocs/op, want 0\n", name, *m.AllocsPerOp)
+			failed = true
+		default:
+			fmt.Fprintf(os.Stderr, "benchjson: ok   %s: 0 allocs/op\n", name)
+		}
+	}
+	for _, gate := range splitList(*minSpeedup) {
+		name, factorStr, ok := strings.Cut(gate, "=")
+		if !ok {
+			fatalf("bad -min-speedup entry %q (want name=factor)", gate)
+		}
+		factor, err := strconv.ParseFloat(factorStr, 64)
+		if err != nil {
+			fatalf("bad -min-speedup factor %q: %v", factorStr, err)
+		}
+		e, okCur := rep.Benchmarks[name]
+		if !okCur || e.SpeedupNs == nil {
+			fmt.Fprintf(os.Stderr, "benchjson: FAIL %s: no old-vs-new ratio available\n", name)
+			failed = true
+			continue
+		}
+		if *e.SpeedupNs < factor {
+			fmt.Fprintf(os.Stderr, "benchjson: FAIL %s: speedup %.2fx below required %.2fx\n", name, *e.SpeedupNs, factor)
+			failed = true
+		} else {
+			fmt.Fprintf(os.Stderr, "benchjson: ok   %s: %.2fx (required %.2fx)\n", name, *e.SpeedupNs, factor)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+	// Human-readable summary of the headline ratios, sorted by name.
+	names := make([]string, 0, len(rep.Benchmarks))
+	for name := range rep.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if e := rep.Benchmarks[name]; e.SpeedupNs != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %-40s %10.0f -> %8.0f ns/op  (%.1fx)\n",
+				name, e.Old.NsPerOp, e.New.NsPerOp, *e.SpeedupNs)
+		}
+	}
+}
+
+// parseBench extracts benchmark lines from `go test -bench` output.
+func parseBench(r io.Reader) (map[string]Metrics, error) {
+	out := map[string]Metrics{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		name := normalizeName(fields[0])
+		m := Metrics{}
+		seenNs := false
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				m.NsPerOp = v
+				seenNs = true
+			case "B/op":
+				m.BytesPerOp = ptr(v)
+			case "allocs/op":
+				m.AllocsPerOp = ptr(v)
+			case "MB/s":
+				m.MBPerSec = ptr(v)
+			}
+		}
+		if seenNs {
+			out[name] = m
+		}
+	}
+	return out, sc.Err()
+}
+
+// normalizeName strips the trailing -GOMAXPROCS suffix Go appends on
+// multi-proc machines, without mangling sub-benchmark names that
+// legitimately end in -<digits> (e.g. workers-4 on a single-proc host,
+// where Go appends no suffix).
+func normalizeName(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i <= 0 {
+		return name
+	}
+	suffix := name[i+1:]
+	if suffix == "" {
+		return name
+	}
+	if _, err := strconv.Atoi(suffix); err != nil {
+		return name
+	}
+	trimmed := name[:i]
+	// workers-4 → trimming yields "workers-": a dangling dash means the
+	// digits were part of the sub-benchmark name, not a proc suffix.
+	if strings.HasSuffix(trimmed, "-") {
+		return name
+	}
+	return trimmed
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func ptr(v float64) *float64 { return &v }
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchjson: "+format+"\n", args...)
+	os.Exit(1)
+}

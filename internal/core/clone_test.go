@@ -1,0 +1,129 @@
+package core
+
+// Tests for the PR-2 hot-path plumbing: the prerendered brand raster
+// cache, detector Clone semantics, and the zero-allocation steady-state
+// Score contract the benchmarks enforce.
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestCloneScoresIdentically(t *testing.T) {
+	proto := NewHomographDetector(1000)
+	clone := proto.Clone()
+	pairs := [][2]string{
+		{"facebook", "facebook"},
+		{"facebооk", "facebook"},
+		{"gõogle", "google"},
+		{"amazon", "google"},
+		{"somethingelse", "notabrand"}, // off-brand reference path
+	}
+	for _, p := range pairs {
+		if a, b := proto.Score(p[0], p[1]), clone.Score(p[0], p[1]); a != b {
+			t.Errorf("Score(%q, %q): proto %v != clone %v", p[0], p[1], a, b)
+		}
+	}
+}
+
+func TestClonesAreConcurrencySafe(t *testing.T) {
+	proto := NewHomographDetector(1000)
+	corpus := testDS.IDNs
+	if len(corpus) > 400 {
+		corpus = corpus[:400]
+	}
+	want := proto.Clone().Detect(corpus)
+	const goroutines = 8
+	var wg sync.WaitGroup
+	results := make([][]HomographMatch, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			d := proto.Clone()
+			// Shuffle per goroutine so clones interleave differently;
+			// Detect sorts, so output order stays canonical.
+			local := append([]string(nil), corpus...)
+			r := rand.New(rand.NewSource(int64(g)))
+			r.Shuffle(len(local), func(i, j int) { local[i], local[j] = local[j], local[i] })
+			results[g] = d.Detect(local)
+		}(g)
+	}
+	wg.Wait()
+	for g, got := range results {
+		if len(got) != len(want) {
+			t.Fatalf("goroutine %d: %d matches, want %d", g, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("goroutine %d match %d: %+v != %+v", g, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestScoreSteadyStateZeroAlloc pins the headline allocation contract:
+// once the detector's scratch buffers are warm, scoring a candidate
+// against a cached brand performs zero allocations.
+func TestScoreSteadyStateZeroAlloc(t *testing.T) {
+	det := NewHomographDetector(1000)
+	labels := []string{"facebооk", "facebool", "fаcebook", "facebôok"}
+	det.Score(labels[0], "facebook") // warm the scratch
+	i := 0
+	allocs := testing.AllocsPerRun(100, func() {
+		_ = det.Score(labels[i%len(labels)], "facebook")
+		i++
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state Score allocates %v per run, want 0", allocs)
+	}
+}
+
+// TestScoreOffBrandReference exercises the uncached-reference fallback:
+// scoring against a label outside the brand set must still work and must
+// not poison the brand cache.
+func TestScoreOffBrandReference(t *testing.T) {
+	det := NewHomographDetector(100)
+	v := det.Score("exàmple", "example") // "example" is not a top-100 brand label here
+	if v <= 0.9 || v >= 1 {
+		t.Errorf("off-brand score = %v, want single-mark band", v)
+	}
+	// And a cached brand still scores identically to a fresh detector.
+	got := det.Score("facebооk", "facebook")
+	want := NewHomographDetector(100).Score("facebооk", "facebook")
+	if got != want {
+		t.Errorf("brand cache poisoned: %v != %v", got, want)
+	}
+}
+
+// TestDetectOneMatchesPrePRSemantics pins the brute-force path through
+// the cached-brand renderer: prefilter and brute force agree with each
+// other on the corpus exactly as before the raster cache existed.
+func TestDetectOneMatchesPrePRSemantics(t *testing.T) {
+	corpus := testDS.IDNs
+	if len(corpus) > 300 {
+		corpus = corpus[:300]
+	}
+	fast := NewHomographDetector(1000)
+	brute := NewHomographDetector(1000, WithoutPrefilter())
+	fastMatches := fast.Detect(corpus)
+	bruteMatches := brute.Detect(corpus)
+	if len(fastMatches) < len(bruteMatches) {
+		t.Fatalf("prefilter lost recall: %d vs %d", len(fastMatches), len(bruteMatches))
+	}
+	seen := make(map[string]HomographMatch, len(fastMatches))
+	for _, m := range fastMatches {
+		seen[m.Domain] = m
+	}
+	for _, m := range bruteMatches {
+		f, ok := seen[m.Domain]
+		if !ok {
+			t.Errorf("brute-force found %v missed by prefilter", m)
+			continue
+		}
+		if f.SSIM < m.SSIM-1e-9 {
+			t.Errorf("prefilter SSIM %v below brute %v for %s", f.SSIM, m.SSIM, m.Domain)
+		}
+	}
+}

@@ -2,8 +2,11 @@ package core
 
 import (
 	"fmt"
+	"image"
 	"sort"
 	"strings"
+	"sync"
+	"unicode/utf8"
 
 	"idnlab/internal/brands"
 	"idnlab/internal/confusables"
@@ -29,12 +32,15 @@ type HomographMatch struct {
 	Brand string `json:"brand"`
 	// SSIM is the maximum structural-similarity index against the brand
 	// set; 1.0 means a pixel-identical rendering.
-	SSIM float64
+	SSIM float64 `json:"ssim"`
 }
 
 // HomographDetector finds registered IDNs that render visually similar to
 // brand domains (§VI-B). It is safe for sequential reuse; not for
-// concurrent use (the renderer caches glyphs).
+// concurrent use (it owns reusable raster and summed-area-table scratch
+// buffers). Concurrent scans give each goroutine a Clone, which shares
+// all immutable state — brand list, confusable table, the glyph atlas and
+// the prerendered brand rasters — at the cost of only the private scratch.
 type HomographDetector struct {
 	threshold float64
 	prefilter bool
@@ -42,9 +48,31 @@ type HomographDetector struct {
 	cmp       *ssim.Comparator
 	table     *confusables.Table
 	// brandsByLabel indexes brands by SLD label for the skeleton
-	// prefilter; brandsByLen by label rune-length for brute force.
+	// prefilter; brandList is the brute-force iteration order.
 	brandsByLabel map[string]brands.Brand
 	brandList     []brands.Brand
+	// brandRefs maps each brand label to its prerendered raster plus the
+	// precomputed reference-side summed-area table — every Score call
+	// against a known brand hits this cache and skips both the render and
+	// a third of the SSIM table build. brandWidths caches the rendered
+	// width (runes × CellWidth) and brandLens the rune count of each
+	// brandList entry, indexed in step with brandList. brandRefs and
+	// brandWidths point at the process-wide brandCache (the brand list is
+	// a fixed constant); all three are immutable, so Clones share them
+	// without synchronization.
+	brandRefs   map[string]*ssim.RefTable
+	brandWidths map[string]int
+	brandLens   []int
+	// scratch is the reusable candidate raster; scratchRef the reusable
+	// reference raster for Score calls against labels outside the brand
+	// set. Both are private to this instance (never shared by Clone).
+	// scratchLabel/scratchWidth memoize what scratch currently holds, so
+	// the brute-force brand sweep re-renders a candidate only when the
+	// target width actually changes.
+	scratch      *image.Gray
+	scratchRef   *image.Gray
+	scratchLabel string
+	scratchWidth int
 }
 
 // HomographOption configures the detector.
@@ -81,19 +109,95 @@ func NewHomographDetector(topK int, opts ...HomographOption) *HomographDetector 
 			d.brandsByLabel[b.Label()] = b
 		}
 	}
+	// Score, brute-force DetectOne and AvailabilityStudy all reference
+	// brands at exactly their own width, so the shared prerender cache
+	// covers every hot-path render and half of every hot-path
+	// integral-image build.
+	d.brandRefs, d.brandWidths = brandCache()
+	d.brandLens = make([]int, len(d.brandList))
+	for i, b := range d.brandList {
+		d.brandLens[i] = utf8.RuneCountInString(b.Label())
+	}
 	return d
+}
+
+// brandCache prerenders every brand label in the fixed top-1000 list at
+// its own width and precomputes the reference-side SSIM table for each,
+// once per process. The brand list is a global constant, so detectors
+// (and benchmark loops that construct fresh engines per scan) all share
+// one immutable cache instead of re-rendering a thousand rasters per
+// construction. ~9 MB resident for the full list, held for the process
+// lifetime.
+var (
+	brandCacheOnce   sync.Once
+	brandCacheRefs   map[string]*ssim.RefTable
+	brandCacheWidths map[string]int
+)
+
+func brandCache() (map[string]*ssim.RefTable, map[string]int) {
+	brandCacheOnce.Do(func() {
+		all := brands.List()
+		re := glyph.NewRenderer()
+		brandCacheRefs = make(map[string]*ssim.RefTable, len(all))
+		brandCacheWidths = make(map[string]int, len(all))
+		for _, b := range all {
+			label := b.Label()
+			if _, dup := brandCacheRefs[label]; dup {
+				continue
+			}
+			width := utf8.RuneCountInString(label) * glyph.CellWidth
+			brandCacheWidths[label] = width
+			brandCacheRefs[label] = ssim.Precompute(re.RenderWidth(label, width))
+		}
+	})
+	return brandCacheRefs, brandCacheWidths
+}
+
+// Clone returns a detector that shares this detector's immutable state —
+// threshold, brand list and index, confusable table, renderer (itself
+// backed by the process-wide glyph atlas) and the prerendered brand
+// rasters — while owning fresh private scratch buffers. Clones are cheap
+// (no brand re-rendering, no table rebuild) and safe to use concurrently
+// with each other and with the original, as long as each individual
+// detector stays on one goroutine.
+func (d *HomographDetector) Clone() *HomographDetector {
+	c := *d
+	c.cmp = ssim.New(ssim.DefaultWindow)
+	c.scratch = nil
+	c.scratchRef = nil
+	c.scratchLabel = ""
+	c.scratchWidth = 0
+	return &c
 }
 
 // Threshold returns the active SSIM threshold.
 func (d *HomographDetector) Threshold() float64 { return d.threshold }
 
 // Score computes the SSIM between an IDN label and a brand label, rendered
-// at the brand's width.
+// at the brand's width. When brandLabel is in the brand set the reference
+// raster and its precomputed summed-area table come from the construction-
+// time cache; the candidate raster reuses the detector's scratch buffer
+// and is itself memoized across consecutive calls with the same label and
+// width (the brute-force brand sweep). In steady state a Score call
+// allocates nothing.
 func (d *HomographDetector) Score(label, brandLabel string) float64 {
-	width := len([]rune(brandLabel)) * glyph.CellWidth
-	a := d.renderer.RenderWidth(brandLabel, width)
-	b := d.renderer.RenderWidth(label, width)
-	v, err := d.cmp.Index(a, b)
+	width, known := d.brandWidths[brandLabel]
+	if !known {
+		width = utf8.RuneCountInString(brandLabel) * glyph.CellWidth
+	}
+	if d.scratch == nil || label != d.scratchLabel || width != d.scratchWidth {
+		d.scratch = d.renderer.RenderWidthInto(d.scratch, label, width)
+		d.scratchLabel = label
+		d.scratchWidth = width
+	}
+	var v float64
+	var err error
+	if known {
+		v, err = d.cmp.IndexRef(d.brandRefs[brandLabel], d.scratch)
+	} else {
+		d.scratchRef = d.renderer.RenderWidthInto(d.scratchRef, brandLabel, width)
+		v, err = d.cmp.Index(d.scratchRef, d.scratch)
+	}
 	if err != nil {
 		return -1
 	}
@@ -129,12 +233,13 @@ func (d *HomographDetector) DetectOne(domain string) (HomographMatch, bool) {
 		}
 		return HomographMatch{}, false
 	}
-	labelLen := len([]rune(label))
-	for _, b := range d.brandList {
+	labelLen := utf8.RuneCountInString(label)
+	for i, b := range d.brandList {
 		// Pair-wise over all brands, skipping only wildly different
 		// lengths (SSIM over padded images cannot reach the threshold
-		// with more than one cell of length difference).
-		if diff := labelLen - len([]rune(b.Label())); diff > 1 || diff < -1 {
+		// with more than one cell of length difference). Rune counts come
+		// from the construction-time cache.
+		if diff := labelLen - d.brandLens[i]; diff > 1 || diff < -1 {
 			continue
 		}
 		if score := d.Score(label, b.Label()); score > best.SSIM {
@@ -179,7 +284,7 @@ type SemanticMatch struct {
 	// Brand is the brand whose label the ASCII residue equals.
 	Brand string `json:"brand"`
 	// Keyword is the non-ASCII remainder of the label.
-	Keyword string
+	Keyword string `json:"keyword"`
 }
 
 // SemanticDetector finds Type-1 semantic IDNs: labels whose ASCII residue
@@ -246,7 +351,7 @@ func (d *SemanticDetector) Detect(domains []string) []SemanticMatch {
 // Tables XIII and XIV.
 type BrandRanking struct {
 	Brand string `json:"brand"`
-	Count int
+	Count int    `json:"count"`
 }
 
 // RankBrands counts matches per brand, descending.

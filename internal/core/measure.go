@@ -19,7 +19,7 @@ type LanguageRow struct {
 	Count       int             `json:"count"`
 	Rate        float64         `json:"rate"`
 	Blacklisted int             `json:"blacklisted"`
-	BlackRate   float64
+	BlackRate   float64         `json:"blackRate"`
 }
 
 // LanguageBreakdown classifies every IDN's second-level label and returns

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"sort"
+	"sync"
 
 	"idnlab/internal/pipeline"
 )
@@ -42,10 +43,24 @@ func sortSemanticMatches(out []SemanticMatch) {
 // NewHomographEngine builds a reusable pipeline stage that fans a domain
 // stream across per-worker homograph detectors. workers <= 0 selects
 // GOMAXPROCS.
+//
+// Workers share one lazily-built prototype detector: the first worker to
+// receive an item constructs it (brand index, confusable table,
+// prerendered brand rasters), and every worker — including the first —
+// then operates on a Clone carrying only private scratch buffers. The
+// expensive immutable state is therefore built once per engine instead of
+// once per worker, and the glyph atlas is shared process-wide.
 func NewHomographEngine(cfg DetectorConfig, workers int) *pipeline.Engine[string, HomographMatch, *HomographDetector] {
+	var (
+		once  sync.Once
+		proto *HomographDetector
+	)
 	return pipeline.New(
 		pipeline.Config{Stage: "homograph", Workers: workers},
-		func() *HomographDetector { return NewHomographDetector(cfg.TopK, cfg.Options...) },
+		func() *HomographDetector {
+			once.Do(func() { proto = NewHomographDetector(cfg.TopK, cfg.Options...) })
+			return proto.Clone()
+		},
 		func(d *HomographDetector, domain string) (HomographMatch, bool, error) {
 			m, ok := d.DetectOne(domain)
 			return m, ok, nil

@@ -19,6 +19,7 @@ package glyph
 import (
 	"image"
 	"strings"
+	"sync"
 )
 
 // Cell geometry: a 5x7 core band with two mark rows above and below, plus
@@ -38,31 +39,59 @@ const (
 	backgroundPixel = 0xFF
 )
 
-// Renderer rasterizes strings. The zero value is ready to use; it exists
-// (rather than free functions only) so callers can attach a glyph cache.
+// Renderer rasterizes strings. All Renderers share one immutable glyph
+// atlas (the full designed repertoire, precomputed on first use), so a
+// Renderer holds no mutable state and is safe for concurrent use by any
+// number of goroutines — one Renderer can back a whole worker pool. The
+// zero value is ready to use.
 type Renderer struct {
-	cache map[rune][CellHeight]uint8
+	atlas map[rune][CellHeight]uint8
 }
 
-// NewRenderer returns a Renderer with an internal per-rune raster cache.
-// A Renderer is not safe for concurrent use; create one per goroutine.
+// The shared atlas: every designed glyph (base font plus composed
+// diacritics) rasterized once, then never written again. Runes outside
+// the atlas are hash glyphs, which are pure functions of the code point
+// and need no cache at all.
+var (
+	atlasOnce   sync.Once
+	sharedAtlas map[rune][CellHeight]uint8
+)
+
+func atlas() map[rune][CellHeight]uint8 {
+	atlasOnce.Do(func() {
+		m := make(map[rune][CellHeight]uint8, len(baseFont)+len(composed))
+		for r := range baseFont {
+			m[r] = rasterize(r)
+		}
+		for r := range composed {
+			m[r] = rasterize(r)
+		}
+		sharedAtlas = m
+	})
+	return sharedAtlas
+}
+
+// NewRenderer returns a Renderer backed by the shared precomputed glyph
+// atlas. Construction is O(1) after the first call in the process; the
+// returned Renderer is immutable and safe for concurrent use.
 func NewRenderer() *Renderer {
-	return &Renderer{cache: make(map[rune][CellHeight]uint8, 128)}
+	return &Renderer{atlas: atlas()}
 }
 
 // cellOf returns the rasterized cell for r as CellHeight rows of column
 // bits (bit i set = column i inked; only the low baseWidth bits are used).
 func (re *Renderer) cellOf(r rune) [CellHeight]uint8 {
-	if re.cache != nil {
-		if c, ok := re.cache[r]; ok {
-			return c
-		}
+	if r >= 'A' && r <= 'Z' {
+		r += 'a' - 'A'
 	}
-	c := rasterize(r)
-	if re.cache != nil {
-		re.cache[r] = c
+	m := re.atlas
+	if m == nil {
+		m = atlas()
 	}
-	return c
+	if c, ok := m[r]; ok {
+		return c
+	}
+	return hashGlyph(r)
 }
 
 // rasterize draws one code point into a cell bitmask.
@@ -164,12 +193,30 @@ func (re *Renderer) Render(s string) *image.Gray {
 // with background on the right or truncating. Fixed-width rendering is what
 // makes pair-wise SSIM between different-length domains well-defined.
 func (re *Renderer) RenderWidth(s string, width int) *image.Gray {
+	return re.RenderWidthInto(nil, s, width)
+}
+
+// RenderWidthInto is RenderWidth with a caller-owned destination buffer:
+// when dst is non-nil and its pixel buffer has capacity for width ×
+// CellHeight pixels, the image is drawn in place and dst is returned;
+// otherwise a fresh image is allocated. A steady-state corpus scan that
+// threads the returned image back in performs zero allocations per
+// candidate. The destination is fully overwritten (background first), so
+// stale pixels never leak between renders.
+func (re *Renderer) RenderWidthInto(dst *image.Gray, s string, width int) *image.Gray {
 	if width < 0 {
 		width = 0
 	}
-	img := image.NewGray(image.Rect(0, 0, width, CellHeight))
-	for i := range img.Pix {
-		img.Pix[i] = backgroundPixel
+	need := width * CellHeight
+	if dst == nil || cap(dst.Pix) < need {
+		dst = image.NewGray(image.Rect(0, 0, width, CellHeight))
+	} else {
+		dst.Pix = dst.Pix[:need]
+		dst.Stride = width
+		dst.Rect = image.Rect(0, 0, width, CellHeight)
+	}
+	for i := range dst.Pix {
+		dst.Pix[i] = backgroundPixel
 	}
 	x0 := 0
 	for _, r := range s {
@@ -187,12 +234,12 @@ func (re *Renderer) RenderWidth(s string, width int) *image.Gray {
 				if px >= width {
 					continue
 				}
-				img.Pix[y*img.Stride+px] = inkPixel
+				dst.Pix[y*dst.Stride+px] = inkPixel
 			}
 		}
 		x0 += CellWidth
 	}
-	return img
+	return dst
 }
 
 // Supported reports whether r has a designed glyph (base font or composed),
@@ -219,10 +266,7 @@ func InkOverlap(a, b rune) float64 {
 		na += popcount5(ca[y])
 		nb += popcount5(cb[y])
 	}
-	maxN := na
-	if nb > maxN {
-		maxN = nb
-	}
+	maxN := max(na, nb)
 	if maxN == 0 {
 		return 0
 	}

@@ -1,0 +1,265 @@
+package ssim
+
+// Equivalence layer for the integral-image kernel: the fast SSIM and MSE
+// paths must agree with the retained naive references on every input —
+// including degenerate shapes — within 1e-9 (in practice they are
+// bit-identical, since both kernels see exact integer window sums and
+// share windowStat).
+
+import (
+	"image"
+	"math"
+	"math/rand"
+	"testing"
+
+	"idnlab/internal/glyph"
+)
+
+// equivSizes covers the degenerate corners the kernel must survive:
+// 0-width, 0-height, 1×1, single row/column, window-larger-than-image,
+// realistic rendered-domain shapes (width ≫ height, CellHeight rows), and
+// one shape past maxPackedPixels so the five-table wide path is exercised
+// by every property test.
+var equivSizes = [][2]int{
+	{0, 0}, {0, 5}, {5, 0}, {1, 1}, {1, 7}, {7, 1}, {2, 2}, {3, 3},
+	{8, 8}, {7, 11}, {11, 7}, {2, 33}, {33, 2}, {48, 15}, {90, 15},
+	{260, 140}, // 36400 px > maxPackedPixels: wide kernel
+}
+
+func TestIndexMatchesNaiveProperty(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3, 42, 2018} {
+		r := rand.New(rand.NewSource(seed))
+		for _, sz := range equivSizes {
+			a := randomGray(r, sz[0], sz[1])
+			b := randomGray(r, sz[0], sz[1])
+			for _, win := range []int{2, 3, 8, 16} {
+				c := New(win)
+				fast, errF := c.Index(a, b)
+				naive, errN := c.IndexNaive(a, b)
+				if (errF == nil) != (errN == nil) {
+					t.Fatalf("seed %d size %v win %d: error mismatch %v vs %v", seed, sz, win, errF, errN)
+				}
+				if errF != nil {
+					continue
+				}
+				if math.Abs(fast-naive) > 1e-9 {
+					t.Fatalf("seed %d size %v win %d: fast %v vs naive %v", seed, sz, win, fast, naive)
+				}
+			}
+		}
+	}
+}
+
+func TestMSEMatchesNaiveProperty(t *testing.T) {
+	c := New(DefaultWindow)
+	for _, seed := range []int64{4, 5, 6, 77} {
+		r := rand.New(rand.NewSource(seed))
+		for _, sz := range equivSizes {
+			a := randomGray(r, sz[0], sz[1])
+			b := randomGray(r, sz[0], sz[1])
+			fast, errF := c.MSE(a, b)
+			naive, errN := MSE(a, b)
+			if (errF == nil) != (errN == nil) {
+				t.Fatalf("seed %d size %v: error mismatch %v vs %v", seed, sz, errF, errN)
+			}
+			if errF != nil {
+				continue
+			}
+			if math.Abs(fast-naive) > 1e-9 {
+				t.Fatalf("seed %d size %v: fast MSE %v vs naive %v", seed, sz, fast, naive)
+			}
+		}
+	}
+}
+
+// TestIndexRefMatchesIndex pins the cached-reference path: IndexRef over a
+// Precomputed table must be bit-identical to the plain pair kernel (and so,
+// transitively, to IndexNaive) on every shape, including the table-less
+// wide and empty fallbacks, and must reject mismatched sizes the same way.
+func TestIndexRefMatchesIndex(t *testing.T) {
+	for _, seed := range []int64{9, 13, 2018} {
+		r := rand.New(rand.NewSource(seed))
+		for _, sz := range equivSizes {
+			a := randomGray(r, sz[0], sz[1])
+			b := randomGray(r, sz[0], sz[1])
+			rt := Precompute(a)
+			if rt.Ref() != a {
+				t.Fatalf("size %v: Ref() does not round-trip the image", sz)
+			}
+			for _, win := range []int{2, 8, 16} {
+				c := New(win)
+				pair, errP := c.Index(a, b)
+				ref, errR := c.IndexRef(rt, b)
+				if (errP == nil) != (errR == nil) {
+					t.Fatalf("seed %d size %v win %d: error mismatch %v vs %v", seed, sz, win, errP, errR)
+				}
+				if errP != nil {
+					continue
+				}
+				if pair != ref {
+					t.Fatalf("seed %d size %v win %d: Index %v != IndexRef %v (want bit-identical)",
+						seed, sz, win, pair, ref)
+				}
+			}
+		}
+	}
+	// Mismatched candidate size must fail exactly like Index.
+	rt := Precompute(image.NewGray(image.Rect(0, 0, 8, 8)))
+	if _, err := New(8).IndexRef(rt, image.NewGray(image.Rect(0, 0, 7, 8))); err != ErrSizeMismatch {
+		t.Fatalf("size mismatch: got %v, want ErrSizeMismatch", err)
+	}
+}
+
+// TestIndexRefZeroAllocSteadyState: the cached-reference scan path must
+// not allocate once the comparator scratch is sized.
+func TestIndexRefZeroAllocSteadyState(t *testing.T) {
+	re := glyph.NewRenderer()
+	width := len("facebook.com") * glyph.CellWidth
+	rt := Precompute(re.RenderWidth("facebook.com", width))
+	y := re.RenderWidth("faceboôk.com", width)
+	c := New(DefaultWindow)
+	if _, err := c.IndexRef(rt, y); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := c.IndexRef(rt, y); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state IndexRef allocates %v per run, want 0", allocs)
+	}
+}
+
+// TestEquivalenceOnRenderedDomains pins the equivalence on the images the
+// detector actually compares: rendered domain pairs, including identical,
+// single-mark and unrelated pairs.
+func TestEquivalenceOnRenderedDomains(t *testing.T) {
+	re := glyph.NewRenderer()
+	width := len("facebook.com") * glyph.CellWidth
+	target := re.RenderWidth("facebook.com", width)
+	c := New(DefaultWindow)
+	for _, domain := range []string{
+		"facebook.com", "facebооk.com", "facebóok.com", "faceb00k.com",
+		"yahoo.co.jp", "中文网址示例集合", "",
+	} {
+		img := re.RenderWidth(domain, width)
+		fast, err1 := c.Index(target, img)
+		naive, err2 := c.IndexNaive(target, img)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("%q: %v / %v", domain, err1, err2)
+		}
+		if fast != naive {
+			t.Errorf("%q: fast %v != naive %v (want bit-identical)", domain, fast, naive)
+		}
+		fm, err := c.MSE(target, img)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nm, _ := MSE(target, img)
+		if fm != nm {
+			t.Errorf("%q: fast MSE %v != naive %v", domain, fm, nm)
+		}
+	}
+}
+
+// TestWindowClamping pins the clamping behavior the former count==0
+// fallback pretended to handle: after win is clamped to min(window, w, h)
+// the window loops always execute, so 1×1 images and windows larger than
+// either dimension take the normal path.
+func TestWindowClamping(t *testing.T) {
+	// 1×1 identical images: variance 0, so SSIM is exactly 1.
+	one := image.NewGray(image.Rect(0, 0, 1, 1))
+	one.Pix[0] = 137
+	for _, win := range []int{2, 8, 100} {
+		v, err := New(win).Index(one, one)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != 1 {
+			t.Errorf("win %d on 1×1 identical: SSIM = %v, want exactly 1", win, v)
+		}
+	}
+	// 1×1 differing images: still defined, still in [-1, 1].
+	two := image.NewGray(image.Rect(0, 0, 1, 1))
+	two.Pix[0] = 9
+	v, err := New(64).Index(one, two)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v < -1 || v > 1 {
+		t.Errorf("1×1 differing SSIM out of range: %v", v)
+	}
+	// Window larger than both dimensions degrades to one global window:
+	// the result must equal the explicitly-global comparison.
+	r := rand.New(rand.NewSource(8))
+	a := randomGray(r, 5, 3)
+	b := randomGray(r, 5, 3)
+	big, err := New(999).Index(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := New(999).IndexNaive(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big != naive {
+		t.Errorf("win>dims: fast %v != naive %v", big, naive)
+	}
+}
+
+// TestComparatorScratchReuseIsClean verifies the reusable summed-area
+// buffer cannot leak state between pairs of different sizes: growing then
+// shrinking then growing again always reproduces fresh-comparator results.
+func TestComparatorScratchReuseIsClean(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	c := New(DefaultWindow)
+	shapes := [][2]int{{40, 15}, {6, 6}, {90, 15}, {1, 1}, {40, 15}}
+	for i, sz := range shapes {
+		a := randomGray(r, sz[0], sz[1])
+		b := randomGray(r, sz[0], sz[1])
+		reused, err := c.Index(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh, err := New(DefaultWindow).Index(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if reused != fresh {
+			t.Fatalf("step %d size %v: reused scratch %v != fresh %v", i, sz, reused, fresh)
+		}
+		m1, err := c.MSE(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m2, _ := MSE(a, b)
+		if m1 != m2 {
+			t.Fatalf("step %d size %v: reused MSE %v != naive %v", i, sz, m1, m2)
+		}
+	}
+}
+
+// TestIndexZeroAllocSteadyState pins the kernel's allocation contract:
+// after the first call sizes the scratch, comparisons allocate nothing.
+func TestIndexZeroAllocSteadyState(t *testing.T) {
+	re := glyph.NewRenderer()
+	width := len("facebook.com") * glyph.CellWidth
+	x := re.RenderWidth("facebook.com", width)
+	y := re.RenderWidth("faceboôk.com", width)
+	c := New(DefaultWindow)
+	if _, err := c.Index(x, y); err != nil { // size the scratch
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := c.Index(x, y); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.MSE(x, y); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state Index+MSE allocates %v per run, want 0", allocs)
+	}
+}

@@ -7,6 +7,40 @@
 // rendered IDN and each rendered brand domain, flagging the IDN as
 // homographic when the maximum index exceeds 0.95. SSIM outputs lie in
 // [-1, 1], with 1 meaning perfectly identical images.
+//
+// # Kernel
+//
+// The mean SSIM is an average over every stride-1 window position, and each
+// window needs five sums (Σa, Σb, Σa², Σb², Σab). Computing them from the
+// pixels at every position costs O(W·H·win²) multiply-adds per pair — the
+// cost profile behind the paper's 102-hour brute-force sweep. A Comparator
+// instead builds summed-area tables (integral images) once per pair,
+// O(W·H), after which any window's five sums are a handful of table
+// lookups: the whole index becomes O(W·H) regardless of window size.
+//
+// Two exactness properties make the fast kernel safe to substitute for the
+// reference loop:
+//
+//   - The tables are integer-exact. Pixels are uint8, so every window sum
+//     is an integer far below 2^53; uint64 table arithmetic and the
+//     float64 conversions downstream are all lossless. For images up to
+//     maxPackedPixels the kernel packs each image's (Σx, Σx²) into the
+//     two 32-bit halves of one uint64 table — three tables per pair
+//     instead of five, which is where the build spends its time — with
+//     overflow and carry/borrow-freedom guaranteed by the pixel-count
+//     bound. Packing per image (rather than across the pair) also lets a
+//     RefTable cache a reference image's table, so scans that compare
+//     many candidates against a fixed brand raster rebuild only the
+//     candidate's table and the cross table per call (IndexRef).
+//   - Both kernels fold window sums through the same windowStat
+//     expression, so the integral-image path is bit-identical to
+//     IndexNaive — pinned by property tests and the byte-exact golden
+//     report.
+//
+// The tables live in a scratch buffer owned by the Comparator and are
+// reused across calls, so a steady-state corpus scan performs zero
+// allocations per comparison. A Comparator is consequently not safe for
+// concurrent use; give each goroutine its own (they are cheap).
 package ssim
 
 import (
@@ -25,15 +59,24 @@ const (
 	dynamicRange  = 255.0
 )
 
+// maxPackedPixels bounds the packed three-table fast path: with
+// w*h ≤ 33000 every per-half table value is at most 255²·33000 < 2^31,
+// so adding two table entries cannot carry across the 32-bit boundary and
+// the four-corner subtraction cannot borrow (window sums are
+// non-negative). Larger images take the five-table wide path.
+const maxPackedPixels = 33000
+
 // ErrSizeMismatch reports two images with different dimensions; the caller
 // decides the padding policy (package glyph renders fixed-width pairs).
 var ErrSizeMismatch = errors.New("ssim: image dimensions differ")
 
 // Comparator computes SSIM indices with a fixed window size. The zero value
-// is not usable; use New.
+// is not usable; use New. A Comparator owns a reusable summed-area-table
+// scratch buffer and is therefore not safe for concurrent use.
 type Comparator struct {
 	window int
 	c1, c2 float64
+	buf    []uint64 // summed-area scratch, grown on demand, reused per pair
 }
 
 // New returns a Comparator with the given sliding-window size. Sizes
@@ -50,8 +93,20 @@ func New(window int) *Comparator {
 	}
 }
 
+// scratch returns the reusable buffer resized to n zero-padding-safe
+// elements (contents beyond the zeroed regions are overwritten by the
+// builders).
+func (c *Comparator) scratch(n int) []uint64 {
+	if cap(c.buf) < n {
+		c.buf = make([]uint64, n)
+	}
+	return c.buf[:n]
+}
+
 // Index computes the mean SSIM index between two equal-sized grayscale
-// images: the per-window SSIM averaged over all window positions (stride 1).
+// images: the per-window SSIM averaged over all window positions (stride
+// 1), in O(W·H) total via the integral-image kernel. Results are
+// bit-identical to IndexNaive.
 func (c *Comparator) Index(a, b *image.Gray) (float64, error) {
 	w, h := a.Rect.Dx(), a.Rect.Dy()
 	if w != b.Rect.Dx() || h != b.Rect.Dy() {
@@ -60,13 +115,255 @@ func (c *Comparator) Index(a, b *image.Gray) (float64, error) {
 	if w == 0 || h == 0 {
 		return 1, nil // two empty images are identical
 	}
-	win := c.window
-	if win > w {
-		win = w
+	win := min(c.window, w, h)
+	if w*h <= maxPackedPixels {
+		return c.indexPacked(a, b, w, h, win), nil
 	}
-	if win > h {
-		win = h
+	return c.indexWide(a, b, w, h, win), nil
+}
+
+// indexPacked is the three-table kernel for images within
+// maxPackedPixels: tables tA and tB each hold one image's Σx in the low
+// and Σx² in the high 32 bits, and tX holds Σab alone.
+func (c *Comparator) indexPacked(a, b *image.Gray, w, h, win int) float64 {
+	stride := w + 1
+	n := stride * (h + 1)
+	buf := c.scratch(3 * n)
+	tA := buf[0*n : 1*n]
+	tB := buf[1*n : 2*n]
+	tX := buf[2*n : 3*n]
+	for x := 0; x < stride; x++ {
+		tA[x], tB[x], tX[x] = 0, 0, 0
 	}
+	for y := 0; y < h; y++ {
+		rowA := a.Pix[y*a.Stride : y*a.Stride+w]
+		rowB := b.Pix[y*b.Stride : y*b.Stride+w]
+		prevA := tA[y*stride : (y+1)*stride]
+		curA := tA[(y+1)*stride : (y+2)*stride]
+		prevB := tB[y*stride : (y+1)*stride]
+		curB := tB[(y+1)*stride : (y+2)*stride]
+		prevX := tX[y*stride : (y+1)*stride]
+		curX := tX[(y+1)*stride : (y+2)*stride]
+		curA[0], curB[0], curX[0] = 0, 0, 0
+		var ra, rb, rx uint64 // running row sums; ra/rb packed Σx|Σx²<<32
+		for x := 0; x < w; x++ {
+			pa := uint64(rowA[x])
+			pb := uint64(rowB[x])
+			ra += pa | (pa*pa)<<32
+			rb += pb | (pb*pb)<<32
+			rx += pa * pb
+			curA[x+1] = prevA[x+1] + ra
+			curB[x+1] = prevB[x+1] + rb
+			curX[x+1] = prevX[x+1] + rx
+		}
+	}
+	return packedWindows(tA, tB, tX, stride, w, h, win, c.c1, c.c2)
+}
+
+// packedWindows sweeps every window position over the packed self tables
+// tA, tB and the cross table tX, averaging windowStat. Shared by
+// indexPacked and IndexRef so both are bit-identical by construction.
+func packedWindows(tA, tB, tX []uint64, stride, w, h, win int, c1, c2 float64) float64 {
+	invN := 1 / float64(win*win)
+	var sum float64
+	var count int
+	for y := 0; y+win <= h; y++ {
+		topA := tA[y*stride:]
+		botA := tA[(y+win)*stride:]
+		topB := tB[y*stride:]
+		botB := tB[(y+win)*stride:]
+		topX := tX[y*stride:]
+		botX := tX[(y+win)*stride:]
+		for x := 0; x+win <= w; x++ {
+			xw := x + win
+			sa := botA[xw] + topA[x] - topA[xw] - botA[x]
+			sb := botB[xw] + topB[x] - topB[xw] - botB[x]
+			sx := botX[xw] + topX[x] - topX[xw] - botX[x]
+			sum += windowStat(
+				float64(uint32(sa)), float64(uint32(sb)),
+				float64(sa>>32), float64(sb>>32),
+				float64(sx), invN, c1, c2)
+			count++
+		}
+	}
+	// After clamping win ≤ min(w, h) both loops execute at least once, so
+	// count ≥ 1 always.
+	return sum / float64(count)
+}
+
+// RefTable holds the precomputed summed-area statistics (packed Σx, Σx²)
+// of a reference image. Scans that score many candidates against a fixed
+// reference — the homograph detector's brand rasters — reuse it via
+// IndexRef, skipping the reference's share of the per-pair table build.
+// A RefTable is immutable after Precompute and safe to share across
+// goroutines (each goroutine still needs its own Comparator).
+type RefTable struct {
+	img  *image.Gray
+	w, h int
+	t    []uint64 // nil when the image exceeds maxPackedPixels or is empty
+}
+
+// Ref returns the reference image the table was computed from. The caller
+// must not mutate it.
+func (rt *RefTable) Ref() *image.Gray { return rt.img }
+
+// Precompute builds the reusable reference-side table for img. Images
+// beyond the packed bound (or empty) get a table-less RefTable; IndexRef
+// then falls back to the plain pair kernel.
+func Precompute(img *image.Gray) *RefTable {
+	w, h := img.Rect.Dx(), img.Rect.Dy()
+	rt := &RefTable{img: img, w: w, h: h}
+	if w == 0 || h == 0 || w*h > maxPackedPixels {
+		return rt
+	}
+	stride := w + 1
+	rt.t = make([]uint64, stride*(h+1))
+	for y := 0; y < h; y++ {
+		row := img.Pix[y*img.Stride : y*img.Stride+w]
+		prev := rt.t[y*stride : (y+1)*stride]
+		cur := rt.t[(y+1)*stride : (y+2)*stride]
+		var r uint64
+		for x := 0; x < w; x++ {
+			p := uint64(row[x])
+			r += p | (p*p)<<32
+			cur[x+1] = prev[x+1] + r
+		}
+	}
+	return rt
+}
+
+// IndexRef computes Index(rt.Ref(), b), reusing rt's precomputed
+// reference table: only the candidate's self table and the cross table
+// are built per call, cutting the table-build cost by a third on the
+// steady-state scan path. Bit-identical to Index.
+func (c *Comparator) IndexRef(rt *RefTable, b *image.Gray) (float64, error) {
+	if rt.w != b.Rect.Dx() || rt.h != b.Rect.Dy() {
+		return 0, ErrSizeMismatch
+	}
+	if rt.t == nil {
+		return c.Index(rt.img, b) // empty or wide: shared fallback paths
+	}
+	w, h := rt.w, rt.h
+	win := min(c.window, w, h)
+	stride := w + 1
+	n := stride * (h + 1)
+	buf := c.scratch(2 * n)
+	tB := buf[0*n : 1*n]
+	tX := buf[1*n : 2*n]
+	for x := 0; x < stride; x++ {
+		tB[x], tX[x] = 0, 0
+	}
+	for y := 0; y < h; y++ {
+		rowA := rt.img.Pix[y*rt.img.Stride : y*rt.img.Stride+w]
+		rowB := b.Pix[y*b.Stride : y*b.Stride+w]
+		prevB := tB[y*stride : (y+1)*stride]
+		curB := tB[(y+1)*stride : (y+2)*stride]
+		prevX := tX[y*stride : (y+1)*stride]
+		curX := tX[(y+1)*stride : (y+2)*stride]
+		curB[0], curX[0] = 0, 0
+		var rb, rx uint64
+		for x := 0; x < w; x++ {
+			pa := uint64(rowA[x])
+			pb := uint64(rowB[x])
+			rb += pb | (pb*pb)<<32
+			rx += pa * pb
+			curB[x+1] = prevB[x+1] + rb
+			curX[x+1] = prevX[x+1] + rx
+		}
+	}
+	return packedWindows(rt.t, tB, tX, stride, w, h, win, c.c1, c.c2), nil
+}
+
+// indexWide is the five-table kernel for images too large for packed
+// 32-bit halves. Same math, one table per statistic.
+func (c *Comparator) indexWide(a, b *image.Gray, w, h, win int) float64 {
+	stride := w + 1
+	n := stride * (h + 1)
+	buf := c.scratch(5 * n)
+	sa := buf[0*n : 1*n]
+	sb := buf[1*n : 2*n]
+	saa := buf[2*n : 3*n]
+	sbb := buf[3*n : 4*n]
+	sab := buf[4*n : 5*n]
+	for x := 0; x < stride; x++ {
+		sa[x], sb[x], saa[x], sbb[x], sab[x] = 0, 0, 0, 0, 0
+	}
+	for y := 0; y < h; y++ {
+		rowA := a.Pix[y*a.Stride : y*a.Stride+w]
+		rowB := b.Pix[y*b.Stride : y*b.Stride+w]
+		prev := y * stride
+		cur := prev + stride
+		sa[cur], sb[cur], saa[cur], sbb[cur], sab[cur] = 0, 0, 0, 0, 0
+		var ra, rb, raa, rbb, rab uint64
+		for x := 0; x < w; x++ {
+			pa := uint64(rowA[x])
+			pb := uint64(rowB[x])
+			ra += pa
+			rb += pb
+			raa += pa * pa
+			rbb += pb * pb
+			rab += pa * pb
+			i := cur + x + 1
+			j := prev + x + 1
+			sa[i] = sa[j] + ra
+			sb[i] = sb[j] + rb
+			saa[i] = saa[j] + raa
+			sbb[i] = sbb[j] + rbb
+			sab[i] = sab[j] + rab
+		}
+	}
+	invN := 1 / float64(win*win)
+	var sum float64
+	var count int
+	for y := 0; y+win <= h; y++ {
+		r0 := y * stride
+		r1 := (y + win) * stride
+		for x := 0; x+win <= w; x++ {
+			i00, i01 := r0+x, r0+x+win
+			i10, i11 := r1+x, r1+x+win
+			sum += windowStat(
+				float64(sa[i11]+sa[i00]-sa[i01]-sa[i10]),
+				float64(sb[i11]+sb[i00]-sb[i01]-sb[i10]),
+				float64(saa[i11]+saa[i00]-saa[i01]-saa[i10]),
+				float64(sbb[i11]+sbb[i00]-sbb[i01]-sbb[i10]),
+				float64(sab[i11]+sab[i00]-sab[i01]-sab[i10]),
+				invN, c.c1, c.c2)
+			count++
+		}
+	}
+	return sum / float64(count)
+}
+
+// windowStat folds the five window sums into one SSIM statistic. Shared
+// by the integral-image and naive kernels so both use the exact same
+// float64 expression order (bit-identical results). invN is 1/(win·win);
+// for the default 8×8 window that reciprocal is a power of two, making
+// the products exact — the fast path is then bit-identical to the
+// historical divide-by-n formulation as well.
+func windowStat(sumA, sumB, sumAA, sumBB, sumAB, invN, c1, c2 float64) float64 {
+	muA := sumA * invN
+	muB := sumB * invN
+	varA := sumAA*invN - muA*muA
+	varB := sumBB*invN - muB*muB
+	covAB := sumAB*invN - muA*muB
+	num := (2*muA*muB + c1) * (2*covAB + c2)
+	den := (muA*muA + muB*muB + c1) * (varA + varB + c2)
+	return num / den
+}
+
+// IndexNaive is the reference implementation of Index: it recomputes every
+// window's five sums directly from the pixels, O(W·H·win²). It is retained
+// for the equivalence property tests and the old-vs-new kernel benchmarks;
+// production callers should use Index.
+func (c *Comparator) IndexNaive(a, b *image.Gray) (float64, error) {
+	w, h := a.Rect.Dx(), a.Rect.Dy()
+	if w != b.Rect.Dx() || h != b.Rect.Dy() {
+		return 0, ErrSizeMismatch
+	}
+	if w == 0 || h == 0 {
+		return 1, nil
+	}
+	win := min(c.window, w, h)
 	var sum float64
 	var count int
 	for y := 0; y+win <= h; y++ {
@@ -75,15 +372,13 @@ func (c *Comparator) Index(a, b *image.Gray) (float64, error) {
 			count++
 		}
 	}
-	if count == 0 {
-		return c.windowSSIM(a, b, 0, 0, min(w, h)), nil
-	}
 	return sum / float64(count), nil
 }
 
-// windowSSIM computes the SSIM statistic over one win x win window.
+// windowSSIM computes the SSIM statistic over one win x win window by
+// direct summation — the reference kernel.
 func (c *Comparator) windowSSIM(a, b *image.Gray, x0, y0, win int) float64 {
-	n := float64(win * win)
+	invN := 1 / float64(win*win)
 	var sumA, sumB, sumAA, sumBB, sumAB float64
 	for y := y0; y < y0+win; y++ {
 		rowA := a.Pix[y*a.Stride:]
@@ -98,24 +393,46 @@ func (c *Comparator) windowSSIM(a, b *image.Gray, x0, y0, win int) float64 {
 			sumAB += pa * pb
 		}
 	}
-	muA := sumA / n
-	muB := sumB / n
-	varA := sumAA/n - muA*muA
-	varB := sumBB/n - muB*muB
-	covAB := sumAB/n - muA*muB
-	num := (2*muA*muB + c.c1) * (2*covAB + c.c2)
-	den := (muA*muA + muB*muB + c.c1) * (varA + varB + c.c2)
-	return num / den
+	return windowStat(sumA, sumB, sumAA, sumBB, sumAB, invN, c.c1, c.c2)
 }
 
-// Index computes the mean SSIM index with the default window size.
+// MSE computes the mean squared error between the pair. MSE is a single
+// global window, so its integral image degenerates to one running sum:
+// the kernel is a fused integer pass — exact (Σ(a−b)² is an integer far
+// below 2^53), allocation-free, and identical to the float64 reference
+// MSE function.
+func (c *Comparator) MSE(a, b *image.Gray) (float64, error) {
+	w, h := a.Rect.Dx(), a.Rect.Dy()
+	if w != b.Rect.Dx() || h != b.Rect.Dy() {
+		return 0, ErrSizeMismatch
+	}
+	if w == 0 || h == 0 {
+		return 0, nil
+	}
+	var sum uint64
+	for y := 0; y < h; y++ {
+		rowA := a.Pix[y*a.Stride : y*a.Stride+w]
+		rowB := b.Pix[y*b.Stride : y*b.Stride+w]
+		for x := 0; x < w; x++ {
+			d := int64(rowA[x]) - int64(rowB[x])
+			sum += uint64(d * d)
+		}
+	}
+	return float64(sum) / float64(w*h), nil
+}
+
+// Index computes the mean SSIM index with the default window size. It
+// builds a throwaway Comparator; hot paths should hold one Comparator and
+// reuse its scratch buffer across pairs.
 func Index(a, b *image.Gray) (float64, error) {
 	return New(DefaultWindow).Index(a, b)
 }
 
 // MSE computes the mean squared error between two equal-sized grayscale
 // images — the "traditional similarity metric" the paper contrasts SSIM
-// against. 0 means identical; larger is more different.
+// against. 0 means identical; larger is more different. This is the
+// float64 direct-summation reference; Comparator.MSE computes the same
+// value with integer arithmetic.
 func MSE(a, b *image.Gray) (float64, error) {
 	w, h := a.Rect.Dx(), a.Rect.Dy()
 	if w != b.Rect.Dx() || h != b.Rect.Dy() {
@@ -143,11 +460,4 @@ func PSNR(mse float64) float64 {
 		return math.Inf(1)
 	}
 	return 10 * math.Log10(dynamicRange*dynamicRange/mse)
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }
