@@ -9,7 +9,7 @@ FUZZTIME ?= 10s
 SSIM_BENCHTIME ?= 1s
 SSIM_BENCH_PATTERN = ^(BenchmarkScore|BenchmarkWithoutPrefilter|BenchmarkSSIMKernel|BenchmarkSSIMKernelNaive|BenchmarkMSEKernel|BenchmarkMSEKernelNaive|BenchmarkRenderWidthInto|BenchmarkPipelineHomograph)$$
 
-.PHONY: all build vet test race bench bench-ssim report fuzz fuzz-smoke clean
+.PHONY: all build vet test race bench bench-ssim report fuzz fuzz-smoke serve-smoke serve-bench clean
 
 all: build vet test
 
@@ -51,6 +51,20 @@ fuzz:
 	$(GO) test -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/zonefile/
 	$(GO) test -fuzz=FuzzScanStream -fuzztime=$(FUZZTIME) ./internal/zonefile/
 	$(GO) test -fuzz=FuzzDecode -fuzztime=$(FUZZTIME) ./internal/dnssim/
+	$(GO) test -fuzz=FuzzDecodeDetect -fuzztime=$(FUZZTIME) ./internal/serve/
+	$(GO) test -fuzz=FuzzDecodeBatch -fuzztime=$(FUZZTIME) ./internal/serve/
+
+# End-to-end smoke of the online detection service: boot idnserve, fire
+# the mixed single/batch/bad-input set via idnload -smoke, assert clean
+# SIGTERM drain.
+serve-smoke:
+	sh scripts/serve_smoke.sh
+
+# Serving benchmark: idnload's zipfian replay against a local idnserve
+# (longer-running; reports achieved QPS and latency percentiles).
+SERVE_BENCH_DURATION ?= 10s
+serve-bench:
+	sh scripts/serve_bench.sh $(SERVE_BENCH_DURATION)
 
 # Reduced-budget fuzz pass for CI.
 fuzz-smoke:

@@ -11,10 +11,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"idnlab/internal/zonegen"
 )
@@ -41,6 +44,19 @@ func run() error {
 		return err
 	}
 	defer conn.Close()
+	// Signal-driven shutdown: closing the conn makes ServeUDP return
+	// nil, so ctrl-c / SIGTERM exit cleanly instead of killing the
+	// process mid-answer.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		conn.Close()
+	}()
 	fmt.Printf("serving %d names on %s (ctrl-c to stop)\n", server.Len(), conn.LocalAddr())
-	return server.ServeUDP(conn)
+	err = server.ServeUDP(conn)
+	if err == nil && ctx.Err() != nil {
+		fmt.Println("idndns: shut down cleanly")
+	}
+	return err
 }

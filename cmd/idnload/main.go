@@ -1,0 +1,357 @@
+// Command idnload replays a zipfian label stream against a running
+// idnserve instance and reports achieved QPS and latency percentiles —
+// the repository's end-to-end serving benchmark. Real DNS query streams
+// are heavily skewed (a small head of hot names dominates), so the
+// zipfian replay exercises exactly what the serving layer is built for:
+// warm-cache hits on the head, detector work and admission pressure on
+// the tail.
+//
+// The replay corpus is the synthetic universe's IDN population (the same
+// corpus the batch scanners study) plus a slice of non-IDN controls, so
+// the request mix covers homographs, semantic IDNs and clean names.
+//
+//	idnload -addr 127.0.0.1:8181 -duration 10s -concurrency 64
+//	idnload -addr 127.0.0.1:8181 -smoke   # deterministic correctness set
+//
+// -smoke fires a fixed mixed single/batch/bad-input request set,
+// asserting status codes and verdict fields; it exits non-zero on any
+// deviation. The serve-smoke make target wraps it with server boot and
+// SIGTERM drain.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"idnlab/internal/core"
+	"idnlab/internal/simrand"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "idnload:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr        = flag.String("addr", "127.0.0.1:8181", "idnserve address")
+		duration    = flag.Duration("duration", 10*time.Second, "load duration")
+		concurrency = flag.Int("concurrency", 32, "concurrent request workers")
+		batchFrac   = flag.Float64("batch-frac", 0.0, "fraction of requests sent as batches")
+		batchSize   = flag.Int("batch-size", 32, "labels per batch request")
+		zipfExp     = flag.Float64("zipf", 1.1, "zipf exponent of the label stream")
+		seed        = flag.Uint64("seed", 1, "corpus and stream seed")
+		scale       = flag.Int("scale", 2000, "universe down-scaling divisor for the replay corpus")
+		timeout     = flag.Duration("timeout", 2*time.Second, "per-request client timeout")
+		smoke       = flag.Bool("smoke", false, "run the deterministic smoke request set and exit")
+		maxBatch    = flag.Int("max-batch", 256, "server's configured batch cap (smoke oversize probe)")
+	)
+	flag.Parse()
+
+	base := "http://" + *addr
+	if *smoke {
+		return runSmoke(base, *maxBatch)
+	}
+	return runLoad(base, loadConfig{
+		duration:    *duration,
+		concurrency: *concurrency,
+		batchFrac:   *batchFrac,
+		batchSize:   *batchSize,
+		zipfExp:     *zipfExp,
+		seed:        *seed,
+		scale:       *scale,
+		timeout:     *timeout,
+	})
+}
+
+type loadConfig struct {
+	duration    time.Duration
+	concurrency int
+	batchFrac   float64
+	batchSize   int
+	zipfExp     float64
+	seed        uint64
+	scale       int
+	timeout     time.Duration
+}
+
+// corpus builds the replay population: every IDN in the synthetic
+// universe plus non-IDN controls, shuffled so zipf rank does not
+// correlate with generation order.
+func corpus(seed uint64, scale int) ([]string, error) {
+	ds, err := core.NewDefaultDataset(seed, scale)
+	if err != nil {
+		return nil, err
+	}
+	labels := make([]string, 0, len(ds.IDNs)+len(ds.NonIDNs)/4)
+	labels = append(labels, ds.IDNs...)
+	for i, d := range ds.NonIDNs {
+		if i%4 == 0 { // a quarter of the controls is plenty
+			labels = append(labels, d)
+		}
+	}
+	src := simrand.New(seed ^ 0x1d71_0ad5) // corpus-shuffle salt
+	for i := len(labels) - 1; i > 0; i-- {
+		j := src.Intn(i + 1)
+		labels[i], labels[j] = labels[j], labels[i]
+	}
+	return labels, nil
+}
+
+// workerStats are per-goroutine to keep the hot loop contention-free.
+type workerStats struct {
+	latencies []time.Duration
+	s2xx      uint64
+	s429      uint64
+	s4xx      uint64
+	s5xx      uint64
+	dropped   uint64 // transport errors: responses we never got
+	labels    uint64
+}
+
+func runLoad(base string, cfg loadConfig) error {
+	fmt.Fprintf(os.Stderr, "idnload: building replay corpus (scale=%d)...\n", cfg.scale)
+	labels, err := corpus(cfg.seed, cfg.scale)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "idnload: %d labels, zipf=%.2f, %d workers, %s\n",
+		len(labels), cfg.zipfExp, cfg.concurrency, cfg.duration)
+
+	client := &http.Client{
+		Timeout: cfg.timeout,
+		Transport: &http.Transport{
+			MaxIdleConns:        cfg.concurrency * 2,
+			MaxIdleConnsPerHost: cfg.concurrency * 2,
+		},
+	}
+	var (
+		wg      sync.WaitGroup
+		stop    atomic.Bool
+		perWork = make([]workerStats, cfg.concurrency)
+	)
+	start := time.Now()
+	for w := 0; w < cfg.concurrency; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			st := &perWork[id]
+			src := simrand.New(cfg.seed + uint64(id)*7919 + 1)
+			zipf := simrand.NewZipf(src, len(labels), cfg.zipfExp)
+			st.latencies = make([]time.Duration, 0, 1<<14)
+			for !stop.Load() {
+				if cfg.batchFrac > 0 && src.Float64() < cfg.batchFrac {
+					doBatch(client, base, labels, zipf, cfg.batchSize, st)
+				} else {
+					doSingle(client, base, labels[zipf.Next()], st)
+				}
+			}
+		}(w)
+	}
+	time.Sleep(cfg.duration)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	// Merge and report.
+	var all []time.Duration
+	var tot workerStats
+	for i := range perWork {
+		st := &perWork[i]
+		all = append(all, st.latencies...)
+		tot.s2xx += st.s2xx
+		tot.s429 += st.s429
+		tot.s4xx += st.s4xx
+		tot.s5xx += st.s5xx
+		tot.dropped += st.dropped
+		tot.labels += st.labels
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	requests := len(all)
+	fmt.Printf("idnload: %d requests in %s (%.0f req/s), %d labels classified (%.0f labels/s)\n",
+		requests, elapsed.Round(time.Millisecond),
+		float64(requests)/elapsed.Seconds(), tot.labels, float64(tot.labels)/elapsed.Seconds())
+	fmt.Printf("status: 2xx=%d 429=%d 4xx=%d 5xx=%d dropped=%d\n",
+		tot.s2xx, tot.s429, tot.s4xx, tot.s5xx, tot.dropped)
+	if requests > 0 {
+		fmt.Printf("latency: p50=%s p90=%s p99=%s max=%s\n",
+			quantile(all, 0.50), quantile(all, 0.90), quantile(all, 0.99), all[requests-1])
+	}
+	if tot.dropped > 0 || tot.s5xx > 0 {
+		return fmt.Errorf("%d dropped, %d server errors", tot.dropped, tot.s5xx)
+	}
+	return nil
+}
+
+func quantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)))
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+func record(st *workerStats, code int, lat time.Duration, labels uint64) {
+	st.latencies = append(st.latencies, lat)
+	switch {
+	case code == 429:
+		st.s429++
+	case code >= 500:
+		st.s5xx++
+	case code >= 400:
+		st.s4xx++
+	default:
+		st.s2xx++
+		st.labels += labels
+	}
+}
+
+func doSingle(client *http.Client, base, domain string, st *workerStats) {
+	body, _ := json.Marshal(map[string]string{"domain": domain})
+	t0 := time.Now()
+	resp, err := client.Post(base+"/v1/detect", "application/json", bytes.NewReader(body))
+	if err != nil {
+		st.dropped++
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	record(st, resp.StatusCode, time.Since(t0), 1)
+}
+
+func doBatch(client *http.Client, base string, labels []string, zipf *simrand.Zipf, n int, st *workerStats) {
+	domains := make([]string, n)
+	for i := range domains {
+		domains[i] = labels[zipf.Next()]
+	}
+	body, _ := json.Marshal(map[string][]string{"domains": domains})
+	t0 := time.Now()
+	resp, err := client.Post(base+"/v1/detect/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		st.dropped++
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	record(st, resp.StatusCode, time.Since(t0), uint64(n))
+}
+
+// --- smoke mode -------------------------------------------------------
+
+// smokeErr accumulates failures so one run reports every deviation.
+type smokeErr struct{ fails []string }
+
+func (e *smokeErr) failf(format string, args ...any) {
+	e.fails = append(e.fails, fmt.Sprintf(format, args...))
+}
+
+func runSmoke(base string, maxBatch int) error {
+	client := &http.Client{Timeout: 5 * time.Second}
+	var e smokeErr
+
+	// 1. Liveness.
+	if code, body := get(client, base+"/healthz", &e); code != 200 || !strings.Contains(body, "ok") {
+		e.failf("healthz: got %d %q, want 200 ok", code, body)
+	}
+
+	// 2. Known homograph (аpple.com) must be flagged.
+	code, body := post(client, base+"/v1/detect", `{"domain":"xn--pple-43d.com"}`, &e)
+	if code != 200 || !strings.Contains(body, `"flagged":true`) || !strings.Contains(body, `"homograph"`) {
+		e.failf("detect homograph: got %d %q", code, body)
+	}
+
+	// 3. Same label again: must be served from cache.
+	if code, body := post(client, base+"/v1/detect", `{"domain":"xn--pple-43d.com"}`, &e); code != 200 || !strings.Contains(body, `"cached":true`) {
+		e.failf("detect cached: got %d %q", code, body)
+	}
+
+	// 4. Type-1 semantic IDN (apple + 邮箱) must be flagged, and the
+	// Unicode spelling must normalize to the same cache entry shape.
+	if code, body := post(client, base+"/v1/detect", `{"domain":"apple邮箱.com"}`, &e); code != 200 || !strings.Contains(body, `"semantic"`) {
+		e.failf("detect semantic: got %d %q", code, body)
+	}
+
+	// 5. Clean ASCII name: 200, not flagged.
+	if code, body := post(client, base+"/v1/detect", `{"domain":"example.com"}`, &e); code != 200 || !strings.Contains(body, `"flagged":false`) {
+		e.failf("detect clean: got %d %q", code, body)
+	}
+
+	// 6. Batch with a mix of valid and invalid entries: 200, aligned
+	// results, per-item error for the invalid one.
+	if code, body := post(client, base+"/v1/detect/batch",
+		`{"domains":["xn--pple-43d.com","example.com","bad..domain"]}`, &e); code != 200 ||
+		!strings.Contains(body, `"count":3`) || !strings.Contains(body, `"error"`) {
+		e.failf("batch mixed: got %d %q", code, body)
+	}
+
+	// 7. Malformed bodies: 400.
+	for _, bad := range []string{`{`, `{"domain":""}`, `{"nope":"x"}`, `[]`, ``} {
+		if code, _ := post(client, base+"/v1/detect", bad, &e); code != 400 {
+			e.failf("malformed %q: got %d, want 400", bad, code)
+		}
+	}
+
+	// 8. Invalid domain: 400.
+	if code, _ := post(client, base+"/v1/detect", `{"domain":"exa mple.com"}`, &e); code != 400 {
+		e.failf("invalid domain: got %d, want 400", code)
+	}
+
+	// 9. Oversized batch: 413.
+	over := make([]string, maxBatch+1)
+	for i := range over {
+		over[i] = "example.com"
+	}
+	overBody, _ := json.Marshal(map[string][]string{"domains": over})
+	if code, _ := post(client, base+"/v1/detect/batch", string(overBody), &e); code != 413 {
+		e.failf("oversized batch: got %d, want 413", code)
+	}
+
+	// 10. Metrics must reflect the traffic above.
+	if code, body := get(client, base+"/metrics", &e); code != 200 ||
+		!strings.Contains(body, `"hits"`) || !strings.Contains(body, `"latency"`) {
+		e.failf("metrics: got %d %q", code, body)
+	}
+
+	if len(e.fails) > 0 {
+		return fmt.Errorf("smoke failed:\n  %s", strings.Join(e.fails, "\n  "))
+	}
+	fmt.Println("idnload: smoke ok")
+	return nil
+}
+
+func post(client *http.Client, url, body string, e *smokeErr) (int, string) {
+	resp, err := client.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		e.failf("POST %s: %v", url, err)
+		return 0, ""
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(b)
+}
+
+func get(client *http.Client, url string, e *smokeErr) (int, string) {
+	resp, err := client.Get(url)
+	if err != nil {
+		e.failf("GET %s: %v", url, err)
+		return 0, ""
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(b)
+}

@@ -8,10 +8,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"idnlab/internal/core"
@@ -37,12 +41,32 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	srv := &http.Server{
 		Addr:              *listen,
 		Handler:           core.WebHandler(ds),
+		ReadTimeout:       10 * time.Second,
 		ReadHeaderTimeout: 5 * time.Second,
+		WriteTimeout:      15 * time.Second,
+		IdleTimeout:       60 * time.Second,
 	}
 	fmt.Printf("serving %d domains on http://%s/ (route by Host header; ctrl-c to stop)\n",
 		len(ds.IDNs)+len(ds.NonIDNs), *listen)
-	return srv.ListenAndServe()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	// Signal-driven graceful drain: stop accepting, let in-flight
+	// responses finish, then exit cleanly instead of dropping them.
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	fmt.Println("idnweb: drained cleanly")
+	return nil
 }

@@ -207,19 +207,23 @@ func (d *HomographDetector) Score(label, brandLabel string) float64 {
 // DetectOne checks a single domain (ACE or Unicode form) against the brand
 // set and returns the best match at or above the threshold.
 func (d *HomographDetector) DetectOne(domain string) (HomographMatch, bool) {
-	uni, err := idna.ToUnicode(domain)
+	n, err := Normalize(domain)
 	if err != nil {
 		return HomographMatch{}, false
 	}
-	label := idna.SLDLabel(uni)
-	if isASCII(label) {
+	return d.DetectNormalized(n)
+}
+
+// DetectNormalized is DetectOne over an already-normalized domain: the
+// serving layer normalizes once at the request boundary and reuses the
+// result across the cache key and both detectors, instead of paying the
+// IDNA round-trip in every detector.
+func (d *HomographDetector) DetectNormalized(n NormalizedDomain) (HomographMatch, bool) {
+	if n.ASCII {
 		return HomographMatch{}, false // homographs need non-ASCII content
 	}
-	ace, err := idna.ToASCII(uni)
-	if err != nil {
-		return HomographMatch{}, false
-	}
-	best := HomographMatch{Domain: ace, Unicode: uni, SSIM: -1}
+	label := n.Label
+	best := HomographMatch{Domain: n.ACE, Unicode: n.Unicode, SSIM: -1}
 	if d.prefilter {
 		skel := d.table.Skeleton(label)
 		b, ok := d.brandsByLabel[skel]
@@ -308,13 +312,21 @@ func NewSemanticDetector(topK int) *SemanticDetector {
 
 // DetectOne checks one domain for Type-1 semantic abuse.
 func (d *SemanticDetector) DetectOne(domain string) (SemanticMatch, bool) {
-	uni, err := idna.ToUnicode(domain)
+	n, err := Normalize(domain)
 	if err != nil {
 		return SemanticMatch{}, false
 	}
-	label := idna.SLDLabel(uni)
+	return d.DetectNormalized(n)
+}
+
+// DetectNormalized is DetectOne over an already-normalized domain; see
+// HomographDetector.DetectNormalized for the sharing rationale.
+func (d *SemanticDetector) DetectNormalized(n NormalizedDomain) (SemanticMatch, bool) {
+	if n.ASCII {
+		return SemanticMatch{}, false // needs at least one non-ASCII rune
+	}
 	var residue, keyword strings.Builder
-	for _, r := range label {
+	for _, r := range n.Label {
 		if r < 0x80 {
 			residue.WriteRune(r)
 		} else {
@@ -328,11 +340,7 @@ func (d *SemanticDetector) DetectOne(domain string) (SemanticMatch, bool) {
 	if !ok {
 		return SemanticMatch{}, false
 	}
-	ace, err := idna.ToASCII(uni)
-	if err != nil {
-		return SemanticMatch{}, false
-	}
-	return SemanticMatch{Domain: ace, Unicode: uni, Brand: b.Domain, Keyword: keyword.String()}, true
+	return SemanticMatch{Domain: n.ACE, Unicode: n.Unicode, Brand: b.Domain, Keyword: keyword.String()}, true
 }
 
 // Detect scans a corpus for Type-1 semantic IDNs.

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"idnlab/internal/idna"
+)
+
+// Single-domain verdict entry points shared by the batch scanners
+// (cmd/idnscan, cmd/idndetect) and the online serving layer
+// (internal/serve). The batch path normalizes inside each detector's
+// DetectOne; the serving path normalizes exactly once at the request
+// boundary and hands the same NormalizedDomain to the cache key, the
+// homograph detector and the semantic detector — the per-detector
+// ToUnicode/ToASCII round-trips were the request path's dominant
+// allocation before this split.
+
+// NormalizedDomain is a domain normalized once: folded, validated, and
+// converted to both its ACE wire form and Unicode display form, with the
+// second-level label (the detection unit) extracted. Construct with
+// Normalize; the zero value means "invalid".
+type NormalizedDomain struct {
+	// ACE is the ASCII-compatible-encoding wire form — the canonical
+	// cache key (two spellings of the same name, Unicode and Punycode,
+	// normalize to the same ACE form).
+	ACE string
+	// Unicode is the display form.
+	Unicode string
+	// Label is the second-level label of the Unicode form, the unit both
+	// detectors inspect.
+	Label string
+	// ASCII reports that Label contains no non-ASCII runes; such labels
+	// can be neither homographs nor Type-1 semantic IDNs.
+	ASCII bool
+}
+
+// Normalize folds, validates and converts a domain (given in either
+// Unicode or Punycode form) exactly once, producing the shared form every
+// downstream consumer — cache, detectors, responses — reuses. It is the
+// only place the serving request path pays the IDNA round-trip.
+func Normalize(domain string) (NormalizedDomain, error) {
+	uni, err := idna.ToUnicode(domain)
+	if err != nil {
+		return NormalizedDomain{}, err
+	}
+	ace, err := idna.ToASCII(uni)
+	if err != nil {
+		return NormalizedDomain{}, err
+	}
+	label := idna.SLDLabel(uni)
+	return NormalizedDomain{
+		ACE:     ace,
+		Unicode: uni,
+		Label:   label,
+		ASCII:   isASCII(label),
+	}, nil
+}
+
+// Verdict is the combined result of running every online detector over
+// one domain — the unit the serving layer caches and returns.
+type Verdict struct {
+	// Domain is the normalized ACE form.
+	Domain string `json:"domain"`
+	// Unicode is the display form.
+	Unicode string `json:"unicode"`
+	// IDN reports whether the domain carries at least one
+	// internationalized label.
+	IDN bool `json:"idn"`
+	// Homograph is the homograph detection result, nil when clean.
+	Homograph *HomographMatch `json:"homograph,omitempty"`
+	// Semantic is the Type-1 semantic detection result, nil when clean.
+	Semantic *SemanticMatch `json:"semantic,omitempty"`
+}
+
+// Flagged reports whether any detector matched.
+func (v Verdict) Flagged() bool { return v.Homograph != nil || v.Semantic != nil }
+
+// Classifier bundles the homograph and semantic detectors behind a
+// single-domain Verdict entry point. Like HomographDetector it is safe
+// for sequential reuse but not concurrent use; concurrent servers give
+// each worker a Clone, which shares all immutable state.
+type Classifier struct {
+	homo *HomographDetector
+	sem  *SemanticDetector
+}
+
+// NewClassifier builds the paired detectors over the top-k brand list.
+func NewClassifier(cfg DetectorConfig) *Classifier {
+	return &Classifier{
+		homo: NewHomographDetector(cfg.TopK, cfg.Options...),
+		sem:  NewSemanticDetector(cfg.TopK),
+	}
+}
+
+// Clone returns a classifier sharing all immutable detector state (brand
+// index, confusable table, prerendered brand rasters, the semantic brand
+// map — read-only after construction) while owning private homograph
+// scratch buffers. Clones are safe to use concurrently with each other
+// and the original.
+func (c *Classifier) Clone() *Classifier {
+	return &Classifier{homo: c.homo.Clone(), sem: c.sem}
+}
+
+// Verdict classifies one pre-normalized domain with both detectors.
+func (c *Classifier) Verdict(n NormalizedDomain) Verdict {
+	v := Verdict{Domain: n.ACE, Unicode: n.Unicode, IDN: idna.IsIDN(n.ACE)}
+	if m, ok := c.homo.DetectNormalized(n); ok {
+		v.Homograph = &m
+	}
+	if m, ok := c.sem.DetectNormalized(n); ok {
+		v.Semantic = &m
+	}
+	return v
+}
+
+// VerdictFor normalizes and classifies in one call — the sequential
+// convenience used by tests and examples.
+func (c *Classifier) VerdictFor(domain string) (Verdict, error) {
+	n, err := Normalize(domain)
+	if err != nil {
+		return Verdict{}, err
+	}
+	return c.Verdict(n), nil
+}

@@ -67,6 +67,34 @@ func (m Metrics) Sub(prev Metrics) Metrics {
 	return d
 }
 
+// MetricsJSON is the wire form of a Metrics snapshot, used by the online
+// serving layer's /metrics endpoint. Busy times are folded into the
+// derived utilization figure rather than shipped per worker.
+type MetricsJSON struct {
+	Stage            string  `json:"stage"`
+	Workers          int     `json:"workers"`
+	In               uint64  `json:"in"`
+	Out              uint64  `json:"out"`
+	Errors           uint64  `json:"errors"`
+	ElapsedMillis    float64 `json:"elapsedMillis"`
+	ThroughputPerSec float64 `json:"throughputPerSec"`
+	Utilization      float64 `json:"utilization"`
+}
+
+// JSON converts the snapshot to its wire form.
+func (m Metrics) JSON() MetricsJSON {
+	return MetricsJSON{
+		Stage:            m.Stage,
+		Workers:          m.Workers,
+		In:               m.In,
+		Out:              m.Out,
+		Errors:           m.Errors,
+		ElapsedMillis:    float64(m.Elapsed) / float64(time.Millisecond),
+		ThroughputPerSec: m.Throughput(),
+		Utilization:      m.Utilization(),
+	}
+}
+
 // String renders a one-line summary for -metrics output.
 func (m Metrics) String() string {
 	var sb strings.Builder

@@ -1,0 +1,122 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestAdmissionFastPath(t *testing.T) {
+	a := NewAdmission(2, 0, 10*time.Millisecond)
+	r1, err := a.Admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := a.Admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.InFlight(); got != 2 {
+		t.Fatalf("InFlight = %d, want 2", got)
+	}
+	r1()
+	r2()
+	if got := a.InFlight(); got != 0 {
+		t.Fatalf("InFlight after release = %d, want 0", got)
+	}
+}
+
+// TestAdmissionShedsWhenSaturated pins the load-shed contract: with all
+// slots held and no queue, Admit returns ErrSaturated immediately.
+func TestAdmissionShedsWhenSaturated(t *testing.T) {
+	a := NewAdmission(1, 0, time.Minute)
+	release, err := a.Admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := a.Admit(context.Background()); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("err = %v, want ErrSaturated", err)
+	}
+	if waited := time.Since(start); waited > time.Second {
+		t.Fatalf("zero-queue shed took %s; must be immediate", waited)
+	}
+	release()
+	if st := a.Stats(); st.Shed != 1 || st.Admitted != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// TestAdmissionQueueTimeout: a queued waiter is shed after maxWait.
+func TestAdmissionQueueTimeout(t *testing.T) {
+	a := NewAdmission(1, 4, 20*time.Millisecond)
+	release, _ := a.Admit(context.Background())
+	defer release()
+	start := time.Now()
+	if _, err := a.Admit(context.Background()); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("err = %v, want ErrSaturated", err)
+	}
+	if waited := time.Since(start); waited < 15*time.Millisecond {
+		t.Fatalf("shed after %s, want ~20ms queue wait first", waited)
+	}
+}
+
+// TestAdmissionDeadlineAware: a waiter whose context deadline is shorter
+// than the queue wait is bounded by the deadline, and one whose deadline
+// has already passed is shed without waiting.
+func TestAdmissionDeadlineAware(t *testing.T) {
+	a := NewAdmission(1, 4, time.Minute)
+	release, _ := a.Admit(context.Background())
+	defer release()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := a.Admit(ctx)
+	if waited := time.Since(start); waited > 10*time.Second {
+		t.Fatalf("deadline-bounded wait took %s", waited)
+	}
+	if !errors.Is(err, ErrSaturated) && !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want saturation or deadline", err)
+	}
+
+	expired, cancel2 := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel2()
+	if _, err := a.Admit(expired); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("expired-deadline err = %v, want ErrSaturated", err)
+	}
+}
+
+// TestAdmissionQueueBound: waiters beyond maxQueue shed immediately even
+// though earlier waiters are still queued.
+func TestAdmissionQueueBound(t *testing.T) {
+	a := NewAdmission(1, 1, time.Minute)
+	release, _ := a.Admit(context.Background())
+
+	queued := make(chan error, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, err := a.Admit(context.Background()) // occupies the one queue seat
+		queued <- err
+	}()
+	// Wait until the waiter is actually queued.
+	deadline := time.Now().Add(2 * time.Second)
+	for a.Queued() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if a.Queued() != 1 {
+		t.Fatal("waiter never queued")
+	}
+	if _, err := a.Admit(context.Background()); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("over-queue err = %v, want ErrSaturated", err)
+	}
+	release() // the queued waiter gets the slot
+	if err := <-queued; err != nil {
+		t.Fatalf("queued waiter: %v", err)
+	}
+	wg.Wait()
+}

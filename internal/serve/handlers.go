@@ -1,0 +1,244 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"idnlab/internal/core"
+	"idnlab/internal/pipeline"
+)
+
+// API wire types. The response embeds the core.Verdict fields plus the
+// serving-layer annotations (flagged, cached); error entries carry the
+// offending input back so batch responses stay aligned with the request.
+
+// detectRequest is the POST /v1/detect body.
+type detectRequest struct {
+	Domain string `json:"domain"`
+}
+
+// batchRequest is the POST /v1/detect/batch body.
+type batchRequest struct {
+	Domains []string `json:"domains"`
+}
+
+// detectResponse is one classified domain. For invalid inputs only
+// Input and Error are set.
+type detectResponse struct {
+	core.Verdict
+	Flagged bool   `json:"flagged"`
+	Cached  bool   `json:"cached"`
+	Input   string `json:"input,omitempty"`
+	Error   string `json:"error,omitempty"`
+}
+
+// batchResponse is the POST /v1/detect/batch reply; Results aligns
+// index-for-index with the request's Domains.
+type batchResponse struct {
+	Count   int              `json:"count"`
+	Flagged int              `json:"flagged"`
+	Results []detectResponse `json:"results"`
+}
+
+// errorResponse is the JSON body of every non-2xx reply.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// Decode errors, distinguished so handlers map them to status codes.
+var (
+	errMalformed = errors.New("malformed request body")
+	errTooLarge  = errors.New("request body too large")
+)
+
+// decodeJSON strictly decodes one JSON object from r into dst: unknown
+// fields, trailing garbage and oversized bodies (surfaced by the
+// handler's http.MaxBytesReader) are all rejected — a detection API
+// should never guess at malformed input.
+func decodeJSON(r io.Reader, dst any) error {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		var maxErr *http.MaxBytesError
+		if errors.As(err, &maxErr) {
+			return errTooLarge
+		}
+		return fmt.Errorf("%w: %v", errMalformed, err)
+	}
+	if dec.More() {
+		return fmt.Errorf("%w: trailing data", errMalformed)
+	}
+	return nil
+}
+
+// decodeDetectRequest parses and validates a single-detect body. It is
+// the surface the fuzz harness drives: any byte sequence must produce
+// either a request or an error, never a panic.
+func decodeDetectRequest(r io.Reader) (detectRequest, error) {
+	var req detectRequest
+	if err := decodeJSON(r, &req); err != nil {
+		return detectRequest{}, err
+	}
+	if req.Domain == "" {
+		return detectRequest{}, fmt.Errorf("%w: missing \"domain\"", errMalformed)
+	}
+	return req, nil
+}
+
+// decodeBatchRequest parses and validates a batch body against the
+// configured size cap. Exceeding the cap is errBatchTooLarge (413), not
+// a 400: the request is well-formed, just oversized.
+var errBatchTooLarge = errors.New("batch exceeds configured maximum")
+
+func decodeBatchRequest(r io.Reader, maxBatch int) (batchRequest, error) {
+	var req batchRequest
+	if err := decodeJSON(r, &req); err != nil {
+		return batchRequest{}, err
+	}
+	if len(req.Domains) == 0 {
+		return batchRequest{}, fmt.Errorf("%w: missing \"domains\"", errMalformed)
+	}
+	if len(req.Domains) > maxBatch {
+		return batchRequest{}, fmt.Errorf("%w: %d > %d", errBatchTooLarge, len(req.Domains), maxBatch)
+	}
+	return req, nil
+}
+
+// Handler returns the service's HTTP mux:
+//
+//	POST /v1/detect        {"domain":"..."}            → detectResponse
+//	POST /v1/detect/batch  {"domains":["...",...]}     → batchResponse
+//	GET  /healthz                                      → ok | draining
+//	GET  /metrics                                      → MetricsSnapshot
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/detect", s.instrument(s.handleDetect))
+	mux.HandleFunc("POST /v1/detect/batch", s.instrument(s.handleBatch))
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// statusWriter captures the response code for the status counters.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with the latency histogram, status
+// counters, and the per-request deadline.
+func (s *Server) instrument(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r.WithContext(ctx))
+		s.metrics.observeStatus(sw.code)
+		s.metrics.latency.observe(time.Since(start))
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeError maps the error taxonomy to status codes: decode errors are
+// 400/413, admission saturation is 429 + Retry-After, deadline blowouts
+// are 503.
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, errBatchTooLarge), errors.Is(err, errTooLarge):
+		writeJSON(w, http.StatusRequestEntityTooLarge, errorResponse{Error: err.Error()})
+	case errors.Is(err, errMalformed):
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+	case errors.Is(err, ErrSaturated):
+		w.Header().Set("Retry-After", strconv.Itoa(s.adm.RetryAfterSeconds()))
+		writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: err.Error()})
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "deadline exceeded"})
+	default:
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+	}
+}
+
+func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
+	s.metrics.single.Add(1)
+	req, err := decodeDetectRequest(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	n, err := core.Normalize(req.Domain)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{
+			Error: fmt.Sprintf("invalid domain %q: %v", req.Domain, err),
+		})
+		return
+	}
+	v, cached, err := s.verdict(r.Context(), n)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.metrics.labels.Add(1)
+	if v.Flagged() {
+		s.metrics.flagged.Add(1)
+	}
+	writeJSON(w, http.StatusOK, detectResponse{Verdict: v, Flagged: v.Flagged(), Cached: cached})
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	s.metrics.batch.Add(1)
+	req, err := decodeBatchRequest(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes), s.cfg.MaxBatch)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	// One admission slot covers the whole batch; the engine bounds the
+	// fan-out width internally.
+	release, err := s.adm.Admit(r.Context())
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	defer release()
+	resp := batchResponse{Count: len(req.Domains), Results: make([]detectResponse, 0, len(req.Domains))}
+	err = s.batchEng.Stream(r.Context(), pipeline.FromSlice(req.Domains), func(e batchEntry) error {
+		if e.resp.Flagged {
+			resp.Flagged++
+		}
+		resp.Results = append(resp.Results, e.resp)
+		return nil
+	})
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Snapshot())
+}

@@ -1,0 +1,283 @@
+// Package serve is the online detection service: the paper's homograph
+// (§VI) and Type-1 semantic (§VII) detectors, batch jobs everywhere else
+// in this repository, hosted behind a long-running HTTP JSON API.
+//
+// Request path, in order:
+//
+//  1. Decode + normalize ONCE at the boundary (core.Normalize); the
+//     normalized ACE form is the cache key and the detectors' input —
+//     no per-detector IDNA round-trips.
+//  2. Sharded LRU verdict cache with singleflight dedup: warm traffic
+//     (zipfian, like real query streams) is served from memory without
+//     touching a detector; concurrent identical misses share one
+//     computation.
+//  3. Admission control in front of detector work only: a fixed slot
+//     pool plus a bounded deadline-aware wait queue. Saturation sheds
+//     early with 429 + Retry-After; the queue cannot collapse.
+//  4. Detection on a per-worker pool of detector clones — cheap because
+//     Clone() shares all immutable state (PR 2); batches fan out
+//     through the internal/pipeline engine (PR 1) with order-preserving
+//     fan-in, so batch responses align with request order.
+//
+// Shutdown: Run drains on context cancellation — /healthz flips to 503
+// (load balancers stop sending), in-flight requests finish within the
+// drain budget, then the listener closes.
+package serve
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"idnlab/internal/core"
+	"idnlab/internal/pipeline"
+)
+
+// Config parameterizes a Server. The zero value selects sane defaults
+// for every field (see withDefaults).
+type Config struct {
+	// TopK is the brand-list depth defended (default 1000).
+	TopK int
+	// Threshold overrides the homograph SSIM threshold; 0 selects
+	// core.DefaultSSIMThreshold.
+	Threshold float64
+	// Workers is the batch fan-out width and the size of the
+	// single-request clone pool; <= 0 selects GOMAXPROCS.
+	Workers int
+	// CacheSize is the verdict-cache capacity in entries (default
+	// 65536); CacheShards the shard count (default 16).
+	CacheSize   int
+	CacheShards int
+	// MaxInflight bounds concurrently executing detector work (default
+	// 4×Workers); MaxQueue bounds admission waiters (default
+	// 16×MaxInflight); QueueWait caps time in the admission queue
+	// (default 50ms).
+	MaxInflight int
+	MaxQueue    int
+	QueueWait   time.Duration
+	// RequestTimeout is the per-request deadline applied at the handler
+	// boundary (default 1s).
+	RequestTimeout time.Duration
+	// MaxBatch bounds labels per batch request (default 256; larger
+	// requests get 413). MaxBodyBytes bounds request bodies (default
+	// 1MiB).
+	MaxBatch     int
+	MaxBodyBytes int64
+	// DrainTimeout bounds graceful shutdown (default 5s).
+	DrainTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.TopK <= 0 {
+		c.TopK = 1000
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.CacheSize <= 0 {
+		c.CacheSize = 65536
+	}
+	if c.CacheShards <= 0 {
+		c.CacheShards = 16
+	}
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 4 * c.Workers
+	}
+	if c.MaxQueue == 0 {
+		c.MaxQueue = 16 * c.MaxInflight
+	}
+	if c.MaxQueue < 0 {
+		c.MaxQueue = 0
+	}
+	if c.QueueWait <= 0 {
+		c.QueueWait = 50 * time.Millisecond
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = time.Second
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 256
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 5 * time.Second
+	}
+	return c
+}
+
+// Server hosts the detectors online. Build with NewServer; it is safe
+// for concurrent use by any number of HTTP handler goroutines.
+type Server struct {
+	cfg      Config
+	cache    *VerdictCache
+	adm      *Admission
+	metrics  *serverMetrics
+	proto    *core.Classifier
+	pool     chan *core.Classifier
+	batchEng *pipeline.Engine[string, batchEntry, *core.Classifier]
+	draining atomic.Bool
+}
+
+// batchEntry is one batch item's response, produced inside the engine.
+type batchEntry struct {
+	resp detectResponse
+	ok   bool
+}
+
+// NewServer builds the service: one prototype classifier (brand index,
+// confusable table, prerendered rasters — built once), a clone pool for
+// single requests, and a shared pipeline engine for batch fan-out.
+func NewServer(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	var opts []core.HomographOption
+	if cfg.Threshold > 0 {
+		opts = append(opts, core.WithThreshold(cfg.Threshold))
+	}
+	dcfg := core.DetectorConfig{TopK: cfg.TopK, Options: opts}
+	s := &Server{
+		cfg:     cfg,
+		cache:   NewVerdictCache(cfg.CacheSize, cfg.CacheShards),
+		adm:     NewAdmission(cfg.MaxInflight, cfg.MaxQueue, cfg.QueueWait),
+		metrics: newServerMetrics(),
+		proto:   core.NewClassifier(dcfg),
+		pool:    make(chan *core.Classifier, cfg.MaxInflight),
+	}
+	// Batch fan-out reuses the streaming engine: per-worker clones of
+	// the shared prototype, order-preserving fan-in so responses align
+	// with request order, per-stage metrics surfaced at /metrics.
+	s.batchEng = pipeline.New(
+		pipeline.Config{Stage: "serve.batch", Workers: cfg.Workers, Batch: 8},
+		func() *core.Classifier { return s.proto.Clone() },
+		func(c *core.Classifier, raw string) (batchEntry, bool, error) {
+			return batchEntry{resp: s.classifyRaw(c, raw), ok: true}, true, nil
+		})
+	return s
+}
+
+// borrow takes a classifier clone from the pool, cloning a fresh one
+// when the pool is momentarily empty (bounded by admission, so the pool
+// converges on MaxInflight clones).
+func (s *Server) borrow() *core.Classifier {
+	select {
+	case c := <-s.pool:
+		return c
+	default:
+		return s.proto.Clone()
+	}
+}
+
+func (s *Server) giveBack(c *core.Classifier) {
+	select {
+	case s.pool <- c:
+	default: // pool full; drop the clone
+	}
+}
+
+// verdict serves one normalized domain through cache → singleflight →
+// admission → detector. The ctx carries the request deadline; admission
+// never waits past it.
+func (s *Server) verdict(ctx context.Context, n core.NormalizedDomain) (core.Verdict, bool, error) {
+	// Fast path: warm verdicts skip admission entirely — a cache hit is
+	// a couple of map operations and must stay cheap at 10k+ req/s.
+	if v, ok := s.cache.Get(n.ACE); ok {
+		return v, true, nil
+	}
+	return s.cache.Do(n.ACE, func() (core.Verdict, error) {
+		release, err := s.adm.Admit(ctx)
+		if err != nil {
+			return core.Verdict{}, err
+		}
+		defer release()
+		c := s.borrow()
+		v := c.Verdict(n)
+		s.giveBack(c)
+		return v, nil
+	})
+}
+
+// classifyRaw is the batch engine's unit of work: normalize once, then
+// cache → detector. Batch items bypass admission (the batch request
+// already holds a slot; fan-out width is bounded by the engine).
+func (s *Server) classifyRaw(c *core.Classifier, raw string) detectResponse {
+	n, err := core.Normalize(raw)
+	if err != nil {
+		return detectResponse{Input: raw, Error: err.Error()}
+	}
+	v, cached, err := s.cache.Do(n.ACE, func() (core.Verdict, error) {
+		return c.Verdict(n), nil
+	})
+	if err != nil { // unreachable: compute cannot fail
+		return detectResponse{Input: raw, Error: err.Error()}
+	}
+	s.metrics.labels.Add(1)
+	if v.Flagged() {
+		s.metrics.flagged.Add(1)
+	}
+	return detectResponse{Verdict: v, Flagged: v.Flagged(), Cached: cached}
+}
+
+// Draining reports whether the server has begun graceful shutdown.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Snapshot assembles the full /metrics payload.
+func (s *Server) Snapshot() MetricsSnapshot {
+	m := s.metrics
+	return MetricsSnapshot{
+		UptimeSeconds: time.Since(m.start).Seconds(),
+		Requests: RequestStats{
+			Single:    m.single.Load(),
+			Batch:     m.batch.Load(),
+			Labels:    m.labels.Load(),
+			Flagged:   m.flagged.Load(),
+			Status2xx: m.status2xx.Load(),
+			Status4xx: m.status4xx.Load(),
+			Status429: m.status429.Load(),
+			Status5xx: m.status5xx.Load(),
+		},
+		Latency:     m.latency.stats(),
+		Cache:       s.cache.Stats(),
+		Admission:   s.adm.Stats(),
+		BatchEngine: s.batchEng.Metrics().JSON(),
+	}
+}
+
+// Run serves on addr until ctx is cancelled, then drains gracefully:
+// /healthz flips to 503, in-flight requests get up to DrainTimeout to
+// finish, and the listener closes. The returned listener address is
+// reported through ready (useful with ":0"); pass nil if not needed.
+func (s *Server) Run(ctx context.Context, addr string, ready chan<- net.Addr) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	if ready != nil {
+		ready <- ln.Addr()
+	}
+	httpSrv := &http.Server{
+		Handler:           s.Handler(),
+		ReadTimeout:       5 * time.Second,
+		ReadHeaderTimeout: 2 * time.Second,
+		WriteTimeout:      10 * time.Second,
+		IdleTimeout:       60 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	s.draining.Store(true)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		httpSrv.Close()
+		return err
+	}
+	return nil
+}

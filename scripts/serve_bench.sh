@@ -1,0 +1,37 @@
+#!/bin/sh
+# serve_bench.sh — the end-to-end serving benchmark: boots idnserve,
+# replays a zipfian label stream with idnload, and prints achieved QPS
+# plus latency percentiles. Duration is $1 (default 10s).
+set -eu
+
+GO=${GO:-go}
+DURATION=${1:-10s}
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+echo "serve-bench: building binaries..."
+"$GO" build -o "$TMP/idnserve" ./cmd/idnserve
+"$GO" build -o "$TMP/idnload" ./cmd/idnload
+
+"$TMP/idnserve" -listen 127.0.0.1:0 -brands 1000 >"$TMP/serve.log" 2>&1 &
+SRV=$!
+trap 'kill "$SRV" 2>/dev/null; rm -rf "$TMP"' EXIT
+
+ADDR=""
+for i in $(seq 1 50); do
+    ADDR=$(sed -n 's/^idnserve: listening on \([^ ]*\).*/\1/p' "$TMP/serve.log")
+    [ -n "$ADDR" ] && break
+    kill -0 "$SRV" 2>/dev/null || { echo "serve-bench: idnserve died:"; cat "$TMP/serve.log"; exit 1; }
+    sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "serve-bench: idnserve never became ready"; exit 1; }
+
+echo "serve-bench: warmup..."
+"$TMP/idnload" -addr "$ADDR" -duration 2s -concurrency 16 >/dev/null 2>&1 || true
+echo "serve-bench: measuring ($DURATION)..."
+"$TMP/idnload" -addr "$ADDR" -duration "$DURATION" -concurrency 32
+
+kill -TERM "$SRV"
+wait "$SRV" || { echo "serve-bench: unclean server exit"; exit 1; }
+trap 'rm -rf "$TMP"' EXIT
+echo "serve-bench: done"

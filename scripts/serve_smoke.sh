@@ -1,0 +1,47 @@
+#!/bin/sh
+# serve_smoke.sh — end-to-end smoke of the online detection service:
+# boots idnserve on an ephemeral port, fires the mixed
+# single/batch/bad-input request set via `idnload -smoke`, then sends
+# SIGTERM and asserts a clean drain (exit 0 and the "drained cleanly"
+# line). Run via `make serve-smoke`.
+set -eu
+
+GO=${GO:-go}
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+echo "serve-smoke: building binaries..."
+"$GO" build -o "$TMP/idnserve" ./cmd/idnserve
+"$GO" build -o "$TMP/idnload" ./cmd/idnload
+
+"$TMP/idnserve" -listen 127.0.0.1:0 -brands 1000 >"$TMP/serve.log" 2>&1 &
+SRV=$!
+trap 'kill "$SRV" 2>/dev/null; rm -rf "$TMP"' EXIT
+
+# Wait for the readiness line and extract the bound address.
+ADDR=""
+for i in $(seq 1 50); do
+    ADDR=$(sed -n 's/^idnserve: listening on \([^ ]*\).*/\1/p' "$TMP/serve.log")
+    [ -n "$ADDR" ] && break
+    kill -0 "$SRV" 2>/dev/null || { echo "serve-smoke: idnserve died:"; cat "$TMP/serve.log"; exit 1; }
+    sleep 0.1
+done
+if [ -z "$ADDR" ]; then
+    echo "serve-smoke: idnserve never became ready:"; cat "$TMP/serve.log"; exit 1
+fi
+echo "serve-smoke: idnserve up at $ADDR"
+
+"$TMP/idnload" -addr "$ADDR" -smoke
+
+# Graceful drain: SIGTERM must produce a clean exit and the drain line.
+kill -TERM "$SRV"
+STATUS=0
+wait "$SRV" || STATUS=$?
+trap 'rm -rf "$TMP"' EXIT
+if [ "$STATUS" -ne 0 ]; then
+    echo "serve-smoke: idnserve exited $STATUS on SIGTERM:"; cat "$TMP/serve.log"; exit 1
+fi
+if ! grep -q "drained cleanly" "$TMP/serve.log"; then
+    echo "serve-smoke: no clean-drain marker:"; cat "$TMP/serve.log"; exit 1
+fi
+echo "serve-smoke: ok (clean drain verified)"
