@@ -8,8 +8,13 @@ FUZZTIME ?= 10s
 # the zero-alloc gate still fails loudly on regressions).
 SSIM_BENCHTIME ?= 1s
 SSIM_BENCH_PATTERN = ^(BenchmarkScore|BenchmarkWithoutPrefilter|BenchmarkSSIMKernel|BenchmarkSSIMKernelNaive|BenchmarkMSEKernel|BenchmarkMSEKernelNaive|BenchmarkRenderWidthInto|BenchmarkPipelineHomograph)$$
+# Benchtime for bench-report: 1s for publishable numbers; the CI smoke
+# uses 2x (the full-study benchmark assembles a dataset per iteration, so
+# even 2x exercises the whole report path; allocs/op stays exact).
+REPORT_BENCHTIME ?= 1s
+REPORT_BENCH_PATTERN = ^(BenchmarkStudyRun|BenchmarkLangIDClassify|BenchmarkLangIDClassifyDomain)$$
 
-.PHONY: all build vet test race bench bench-ssim report fuzz fuzz-smoke serve-smoke serve-bench clean
+.PHONY: all build vet test race bench bench-ssim bench-report report fuzz fuzz-smoke serve-smoke serve-bench clean
 
 all: build vet test
 
@@ -39,6 +44,18 @@ bench-ssim:
 	      -baseline BENCH_baseline_ssim.txt \
 	      -out BENCH_ssim.json \
 	      -require-zero-allocs BenchmarkScore,BenchmarkSSIMKernel,BenchmarkMSEKernel,BenchmarkRenderWidthInto
+
+# Full-study + language-ID benchmarks (PR 4): the corpus-index Study.Run
+# and the dense langid classifier into BENCH_report.json (old-vs-new
+# against the recorded pre-index baseline). Exits non-zero if any
+# steady-state Classify path allocates. CI smoke:
+# `make bench-report REPORT_BENCHTIME=2x`.
+bench-report:
+	$(GO) test -run='^$$' -bench '$(REPORT_BENCH_PATTERN)' -benchmem -benchtime=$(REPORT_BENCHTIME) ./internal/core/ ./internal/langid/ \
+	  | $(GO) run ./cmd/benchjson \
+	      -baseline BENCH_baseline_report.txt \
+	      -out BENCH_report.json \
+	      -require-zero-allocs BenchmarkLangIDClassify/ascii,BenchmarkLangIDClassify/latin-diacritics,BenchmarkLangIDClassify/nonlatin,BenchmarkLangIDClassify/cyrillic,BenchmarkLangIDClassifyDomain
 
 # The full study: every table and figure at 1/100 of the paper's corpus.
 report:

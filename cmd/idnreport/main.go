@@ -12,13 +12,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
 
 	"idnlab/internal/core"
+	"idnlab/internal/profiling"
 	"idnlab/internal/zonegen"
 )
 
@@ -37,8 +40,26 @@ func run() error {
 		jsonMode = flag.Bool("json", false, "emit machine-readable JSON instead of the text report")
 		workers  = flag.Int("workers", 0, "corpus-scan fan-out (0 = GOMAXPROCS, 1 = sequential)")
 		metrics  = flag.Bool("metrics", false, "print per-scan pipeline metrics to stderr")
+		timings  = flag.Bool("timings", false, "print per-section render timings to stderr")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil {
+			fmt.Fprintln(os.Stderr, "idnreport:", perr)
+		}
+	}()
+
+	// Ctrl-C cancels the report cleanly: the section scheduler and any
+	// in-flight corpus scan drain their goroutines before run returns.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	fmt.Fprintf(os.Stderr, "generating universe (seed %d, scale 1/%d)...\n", *seed, *scale)
 	ds, err := core.NewDefaultDataset(*seed, *scale)
@@ -49,11 +70,15 @@ func run() error {
 	st := core.NewStudy(ds)
 	st.ScanWorkers = *workers
 	defer func() {
-		if !*metrics {
-			return
+		if *metrics {
+			for _, m := range st.ScanMetrics() {
+				fmt.Fprintln(os.Stderr, m)
+			}
 		}
-		for _, m := range st.ScanMetrics() {
-			fmt.Fprintln(os.Stderr, m)
+		if *timings {
+			for _, t := range st.SectionTimings() {
+				fmt.Fprintf(os.Stderr, "section %-12s %s\n", t.Name, t.Duration)
+			}
 		}
 	}()
 
@@ -61,7 +86,7 @@ func run() error {
 		return st.WriteJSON(os.Stdout)
 	}
 	if *only == "" {
-		return st.Run(os.Stdout)
+		return st.RunContext(ctx, os.Stdout)
 	}
 	sections := map[string]func(io.Writer) error{
 		"findings": st.ReportFindings,

@@ -25,6 +25,7 @@ import (
 
 	"idnlab/internal/idna"
 	"idnlab/internal/pipeline"
+	"idnlab/internal/profiling"
 	"idnlab/internal/zonefile"
 )
 
@@ -41,8 +42,20 @@ func run() error {
 		verbose = flag.Bool("v", false, "print each discovered IDN with its Unicode form")
 		workers = flag.Int("workers", 0, "zone files scanned concurrently (0 = GOMAXPROCS)")
 		metrics = flag.Bool("metrics", false, "print pipeline metrics to stderr after the scan")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil {
+			fmt.Fprintln(os.Stderr, "idnscan:", perr)
+		}
+	}()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -83,7 +96,7 @@ func run() error {
 		})
 
 	var totalSLD, totalIDN int
-	err := eng.Stream(ctx, pipeline.FromSlice(paths), func(st zonefile.ScanStats) error {
+	err = eng.Stream(ctx, pipeline.FromSlice(paths), func(st zonefile.ScanStats) error {
 		totalSLD += st.SLDCount
 		totalIDN += len(st.IDNs)
 		fmt.Printf("%-24s %8d SLDs %8d IDNs\n", st.Origin, st.SLDCount, len(st.IDNs))

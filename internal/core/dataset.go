@@ -11,6 +11,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"idnlab/internal/blacklist"
 	"idnlab/internal/certs"
@@ -45,6 +46,13 @@ type Dataset struct {
 	// Registry is retained for serving web content (the "live Internet"
 	// the crawler probes); measurements do not read its ground truth.
 	Registry *zonegen.Registry
+
+	// IndexWorkers bounds the parallelism of the corpus-index build pass
+	// (GOMAXPROCS when zero). Set it before the first Index() call.
+	IndexWorkers int
+
+	idxOnce sync.Once
+	idx     *Index
 }
 
 // TLDRow is one row of the Table I reproduction.
@@ -172,14 +180,10 @@ func countFlaggedITLD(agg *blacklist.Aggregate, domains []string) int {
 }
 
 // MaliciousIDNs returns the blacklisted subset of the corpus, sorted.
+// The filter is computed once by the corpus index and shared; callers
+// must treat the slice as read-only.
 func (ds *Dataset) MaliciousIDNs() []string {
-	var out []string
-	for _, d := range ds.IDNs {
-		if ds.Blacklists.IsMalicious(d) {
-			out = append(out, d)
-		}
-	}
-	return out
+	return ds.Index().Malicious()
 }
 
 // Probe crawls one domain of the dataset: it resolves the name through

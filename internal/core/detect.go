@@ -397,38 +397,160 @@ type AvailabilityResult struct {
 // paper's 42,671-of-128,432 survivor ratio under UC-SimList.
 const GenerationOverlapThreshold = 0.60
 
+// availabilityTLDBit maps a study TLD to its bit in the registration
+// bitmask ("com"=1, "net"=2, "org"=4; 0 for any other TLD).
+func availabilityTLDBit(tld string) uint8 {
+	switch tld {
+	case "com":
+		return 1
+	case "net":
+		return 2
+	case "org":
+		return 4
+	}
+	return 0
+}
+
 // AvailabilityStudy generates the single-substitution candidate space for
 // the top-k brands, scores it with SSIM, and checks registration against
 // the corpus — Figures 6 and 7. registered must be the sorted IDN corpus.
+// It decodes the corpus into the Unicode-label registration map and runs
+// AvailabilityStudyReg; callers that hold a corpus Index should pass
+// Index.AvailabilityReg directly and skip the decoding.
 func (d *HomographDetector) AvailabilityStudy(topK int, registered []string) []AvailabilityResult {
-	regSet := make(map[string]struct{}, len(registered))
+	regUni := make(map[string]uint8)
 	for _, r := range registered {
-		regSet[r] = struct{}{}
+		bit := availabilityTLDBit(idna.TLD(r))
+		if bit == 0 {
+			continue
+		}
+		uni, err := idna.ToUnicode(r)
+		if err != nil {
+			// An entry that does not decode cannot be the encoding of any
+			// variant, so it could never have matched.
+			continue
+		}
+		regUni[idna.SLDLabel(uni)] |= bit
 	}
-	genTable := confusables.BuildMulti(GenerationOverlapThreshold)
+	return d.AvailabilityStudyReg(topK, regUni)
+}
+
+// AvailabilityStudyReg is AvailabilityStudy against a prebuilt
+// registration map (Unicode SLD label → study-TLD bitmask, as built by
+// Index.AvailabilityReg).
+//
+// The sweep exploits the single-substitution structure: no candidate is
+// ever rendered. For each position × homoglyph pair, the diff bounding box
+// of the two glyph cells (glyph.DiffBox) tells the SSIM kernel exactly
+// which pixels the substitution can change; the homoglyph's pixels inside
+// that box are emitted as a tiny patch (glyph.AppendPatch) and scored
+// directly against the brand's precomputed reference table
+// (ssim.IndexRefSubPatch), which computes real window statistics only for
+// windows overlapping the box. Candidate strings are materialized only as
+// a reusable key buffer for the few variants that clear the threshold, and
+// their registration check is one map lookup (matching ACE-set membership
+// exactly: punycode is a bijection between valid Unicode labels and their
+// ACE forms). Scores and counts are identical to the render-and-Score loop
+// — pinned by TestAvailabilityStudyEquivalence.
+func (d *HomographDetector) AvailabilityStudyReg(topK int, regUni map[string]uint8) []AvailabilityResult {
+	genTable := confusables.Multi(GenerationOverlapThreshold)
 	var out []AvailabilityResult
+	keyBuf := make([]byte, 0, 64)
+	// Candidate geometry is a pure function of the (base, homoglyph) glyph
+	// pair: the diff bounding box and the homoglyph's pixels inside it.
+	// There are only a few dozen bases with a few dozen homoglyphs each,
+	// while the sweep visits tens of thousands of (brand, position,
+	// homoglyph) triples — so the boxes and patches are computed once per
+	// base and replayed everywhere that letter appears.
+	type availCand struct {
+		h                  rune
+		dx0, dx1, dy0, dy1 int
+		patch              []byte
+	}
+	candCache := make(map[rune][]availCand)
+	candsOf := func(base rune) []availCand {
+		if list, ok := candCache[base]; ok {
+			return list
+		}
+		hs := genTable.Homoglyphs(base)
+		ca := d.renderer.CellBits(base)
+		list := make([]availCand, 0, len(hs))
+		for _, h := range hs {
+			cb := d.renderer.CellBits(h)
+			c := availCand{h: h}
+			c.dx0, c.dx1, c.dy0, c.dy1 = glyph.DiffBox(ca, cb)
+			if c.dx0 != c.dx1 {
+				c.patch = glyph.AppendPatch(cb, c.dx0, c.dx1, c.dy0, c.dy1, nil)
+			}
+			list = append(list, c)
+		}
+		candCache[base] = list
+		return list
+	}
 	for _, b := range brands.TopK(topK) {
 		label := b.Label()
 		res := AvailabilityResult{Brand: b.Domain}
-		for _, v := range genTable.Variants(label) {
-			res.Candidates++
-			if d.Score(v, label) < d.threshold {
-				continue
-			}
-			res.Homographic++
-			ace, err := idna.ToASCIILabel(v)
-			if err != nil {
-				continue
-			}
-			for _, tld := range []string{"com", "net", "org"} {
-				if _, ok := regSet[ace+"."+tld]; ok {
-					res.Registered++
+		rt, cached := d.brandRefs[label]
+		if !cached || !rt.Packed() {
+			// Label outside the prerender cache (or too wide for the packed
+			// table): fall back to the materialize-and-Score sweep (same
+			// iteration order).
+			for _, v := range genTable.Variants(label) {
+				res.Candidates++
+				if d.Score(v, label) < d.threshold {
+					continue
 				}
+				res.Homographic++
+				res.Registered += tldBitCount(regUni[v])
+			}
+			out = append(out, res)
+			continue
+		}
+		cellIdx := 0
+		for byteOff, base := range label {
+			i := cellIdx
+			cellIdx++
+			list := candsOf(base)
+			if len(list) == 0 {
+				continue
+			}
+			baseLen := utf8.RuneLen(base)
+			cellX := i * glyph.CellWidth
+			for ci := range list {
+				cnd := &list[ci]
+				res.Candidates++
+				// For a pixel-identical homoglyph (empty box) the candidate
+				// raster equals the brand raster and the score is exactly
+				// 1.0 without touching the kernel.
+				if cnd.dx0 == cnd.dx1 {
+					if 1.0 < d.threshold {
+						continue
+					}
+				} else {
+					above, err := d.cmp.RefSubPatchAbove(rt,
+						cellX+cnd.dx0, cellX+cnd.dx1, cnd.dy0, cnd.dy1,
+						cnd.patch, d.threshold)
+					if err != nil || !above {
+						continue
+					}
+				}
+				res.Homographic++
+				// Splice the variant into the reusable key buffer; the
+				// map lookup on string(keyBuf) compiles without a copy.
+				keyBuf = append(keyBuf[:0], label[:byteOff]...)
+				keyBuf = utf8.AppendRune(keyBuf, cnd.h)
+				keyBuf = append(keyBuf, label[byteOff+baseLen:]...)
+				res.Registered += tldBitCount(regUni[string(keyBuf)])
 			}
 		}
 		out = append(out, res)
 	}
 	return out
+}
+
+// tldBitCount counts the set bits of a study-TLD registration bitmask.
+func tldBitCount(b uint8) int {
+	return int(b&1 + b>>1&1 + b>>2&1)
 }
 
 // String renders a match for logs and examples.

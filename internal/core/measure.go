@@ -25,7 +25,16 @@ type LanguageRow struct {
 // LanguageBreakdown classifies every IDN's second-level label and returns
 // the Table II rows sorted by overall volume descending. English and
 // unclassified labels are grouped into langid.Other.
+//
+// When classifier is the process-wide langid.Default() model the rows come
+// from the corpus index, whose build pass already classified every SLD
+// label; the breakdown then costs one memoized aggregation instead of a
+// second corpus decode-and-classify loop. Any other classifier falls back
+// to the direct loop.
 func (ds *Dataset) LanguageBreakdown(classifier *langid.Classifier) []LanguageRow {
+	if classifier == langid.Default() {
+		return ds.Index().LanguageRows()
+	}
 	counts := make(map[langid.Language]int)
 	blackCounts := make(map[langid.Language]int)
 	total, blackTotal := 0, 0
@@ -45,6 +54,13 @@ func (ds *Dataset) LanguageBreakdown(classifier *langid.Classifier) []LanguageRo
 			blackTotal++
 		}
 	}
+	return languageRowsFromCounts(counts, blackCounts, total, blackTotal)
+}
+
+// languageRowsFromCounts turns per-language tallies into the sorted
+// Table II row set — the shared aggregation tail of the direct loop and
+// the index fast path.
+func languageRowsFromCounts(counts, blackCounts map[langid.Language]int, total, blackTotal int) []LanguageRow {
 	out := make([]LanguageRow, 0, len(counts))
 	for lang, n := range counts {
 		row := LanguageRow{Language: lang, Count: n, Blacklisted: blackCounts[lang]}
@@ -66,34 +82,17 @@ func (ds *Dataset) LanguageBreakdown(classifier *langid.Classifier) []LanguageRo
 }
 
 // CreationTimeline returns the Figure 1 histograms: IDN registrations per
-// creation year, overall and blacklisted, from WHOIS records.
+// creation year, overall and blacklisted, from WHOIS records. Computed
+// once by the corpus index; both histograms are read-only.
 func (ds *Dataset) CreationTimeline() (all, malicious stats.Histogram) {
-	all = make(stats.Histogram)
-	malicious = make(stats.Histogram)
-	for _, d := range ds.IDNs {
-		rec, ok := ds.WHOIS.Get(d)
-		if !ok || rec.Created.IsZero() {
-			continue
-		}
-		y := rec.Created.Year()
-		all[y]++
-		if ds.Blacklists.IsMalicious(d) {
-			malicious[y]++
-		}
-	}
-	return all, malicious
+	return ds.Index().Timeline()
 }
 
-// idnWHOIS builds a WHOIS sub-store restricted to the IDN corpus, the
-// population Tables III and IV rank.
+// idnWHOIS returns the WHOIS sub-store restricted to the IDN corpus, the
+// population Tables III and IV rank. The store is built once by the
+// corpus index and shared; before the index each caller rebuilt it.
 func (ds *Dataset) idnWHOIS() *whois.Store {
-	sub := whois.NewStore()
-	for _, d := range ds.IDNs {
-		if rec, ok := ds.WHOIS.Get(d); ok {
-			sub.Put(rec)
-		}
-	}
-	return sub
+	return ds.Index().IDNWHOIS()
 }
 
 // TopRegistrants returns the Table III ranking: registrant emails by IDN
@@ -125,28 +124,24 @@ const (
 	PopulationMalicious
 )
 
-// populationDomains materializes a population's domain list.
+// populationDomains materializes a population's domain list, resolving
+// through the corpus index so the malicious filter is computed once.
 func (ds *Dataset) populationDomains(p Population) []string {
-	switch p {
-	case PopulationIDN:
-		return ds.IDNs
-	case PopulationNonIDN:
-		return ds.NonIDNs
-	case PopulationMalicious:
-		return ds.MaliciousIDNs()
-	}
-	return nil
+	return ds.Index().populationDomains(p)
 }
 
 // ActiveTimeSeries returns the Figure 2 series for a population,
-// optionally restricted to one TLD ("" for all).
+// optionally restricted to one TLD ("" for all). Each (population, TLD)
+// cut is computed once by the corpus index; callers must treat the slice
+// as read-only.
 func (ds *Dataset) ActiveTimeSeries(p Population, tld string) []float64 {
-	return ds.PDNS.ActiveDaysOf(filterTLD(ds.populationDomains(p), tld))
+	return ds.Index().Series(true, p, tld)
 }
 
-// QueryVolumeSeries returns the Figure 3 series for a population.
+// QueryVolumeSeries returns the Figure 3 series for a population,
+// memoized like ActiveTimeSeries. Read-only.
 func (ds *Dataset) QueryVolumeSeries(p Population, tld string) []float64 {
-	return ds.PDNS.QueriesOf(filterTLD(ds.populationDomains(p), tld))
+	return ds.Index().Series(false, p, tld)
 }
 
 func filterTLD(domains []string, tld string) []string {
@@ -172,12 +167,23 @@ type IPConcentration struct {
 	Cumulative []float64
 }
 
-// IPConcentrationStats computes Figure 4 over the IDN population.
+// IPConcentrationStats computes Figure 4 over the IDN population. The
+// aggregation runs once, behind the corpus index. Read-only.
 func (ds *Dataset) IPConcentrationStats() IPConcentration {
+	return ds.Index().Concentration()
+}
+
+// ipConcentration is the Figure 4 aggregation body, fed by the index's
+// per-domain records so pDNS misses are skipped without a store probe.
+func (ds *Dataset) ipConcentration(infos []DomainInfo) IPConcentration {
 	ipsPerSeg := make(map[string]map[string]struct{})
 	domainsPerSeg := make(map[string]map[string]struct{})
 	allIPs := make(map[string]struct{})
-	for _, d := range ds.IDNs {
+	for i := range infos {
+		if !infos[i].HasPDNS {
+			continue
+		}
+		d := infos[i].Domain
 		e, ok := ds.PDNS.Get(d)
 		if !ok {
 			continue
@@ -215,9 +221,14 @@ func (ds *Dataset) IPConcentrationStats() IPConcentration {
 
 // UsageSample crawls a deterministic sample of a population and classifies
 // the responses — the Table V methodology (stratified sampling + manual
-// classification, here automated).
+// classification, here automated). Each (population, size, seed) census is
+// probed once, behind the corpus index.
 func (ds *Dataset) UsageSample(p Population, sampleSize int, seed uint64) webprobe.Census {
-	domains := ds.populationDomains(p)
+	return ds.Index().Usage(p, sampleSize, seed)
+}
+
+// usageSample is the Table V probe loop over a resolved domain list.
+func (ds *Dataset) usageSample(domains []string, sampleSize int, seed uint64) webprobe.Census {
 	census := make(webprobe.Census)
 	if len(domains) == 0 || sampleSize <= 0 {
 		return census
@@ -239,12 +250,18 @@ func (ds *Dataset) UsageSample(p Population, sampleSize int, seed uint64) webpro
 
 // CertCensus classifies the certificates served by a population — the
 // Table VI reproduction. Domains without a certificate are skipped (the
-// paper's denominators are downloaded certificates).
+// paper's denominators are downloaded certificates). Each population's
+// census is computed once, behind the corpus index.
 func (ds *Dataset) CertCensus(p Population) CertReport {
+	return ds.Index().Certs(p)
+}
+
+// certCensus is the Table VI classification loop over a domain list.
+func (ds *Dataset) certCensus(domains []string) CertReport {
 	var rep CertReport
 	now := ds.Registry.Cfg.Snapshot
 	roots := ds.Authority.Roots()
-	for _, d := range ds.populationDomains(p) {
+	for _, d := range domains {
 		cert, ok := ds.Certs.Get(d)
 		if !ok {
 			continue

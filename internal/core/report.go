@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"idnlab/internal/brands"
@@ -10,6 +11,8 @@ import (
 	"strings"
 	"sync"
 	"text/tabwriter"
+	"time"
+	"unicode/utf8"
 
 	"idnlab/internal/browser"
 	"idnlab/internal/glyph"
@@ -23,16 +26,20 @@ import (
 // Study runs the complete measurement over a dataset and renders every
 // table and figure of the paper. Corpus-scale detector scans (Tables IX,
 // XIII, XIV; Figures 5, 8) run through the internal/pipeline streaming
-// engine with ScanWorkers-wide fan-out; the engine's ordering guarantee
-// makes the rendered output byte-identical to the sequential scans.
+// engine with ScanWorkers-wide fan-out and are memoized — each scan runs
+// once per Study no matter how many sections consume it. Report sections
+// themselves render concurrently (RunContext) into private buffers that
+// an order-preserving fan-in writes out in the fixed section order, so
+// the report is byte-identical to the sequential renderer at any worker
+// count.
 type Study struct {
 	DS         *Dataset
 	Classifier *langid.Classifier
 	Homograph  *HomographDetector
 	Semantic   *SemanticDetector
 
-	// ScanWorkers is the fan-out of pipelined corpus scans; 0 selects
-	// GOMAXPROCS, 1 forces a single worker.
+	// ScanWorkers is the fan-out of pipelined corpus scans and of the
+	// section scheduler; 0 selects GOMAXPROCS, 1 forces a single worker.
 	ScanWorkers int
 	// ScanConfig builds the per-worker homograph detectors for
 	// pipelined scans (its TopK also sizes the semantic detector). It
@@ -42,40 +49,89 @@ type Study struct {
 
 	mu          sync.Mutex
 	scanMetrics []pipeline.Metrics
+	timings     []SectionTiming
+
+	// Memoized corpus scans. Guarded by their own mutexes (not sync.Once)
+	// so a scan aborted by context cancellation stays uncached and can be
+	// retried; results are cached only on success.
+	homoMu     sync.Mutex
+	homoDone   bool
+	homoCached []HomographMatch
+	semMu      sync.Mutex
+	semDone    bool
+	semCached  []SemanticMatch
+
+	indexMetricsOnce sync.Once
 }
 
 // NewStudy wires a study over an assembled dataset with default
-// components.
+// components. The language classifier is the process-wide shared model
+// (langid.Default), which lets the Table II breakdown reuse the corpus
+// index's per-domain classifications.
 func NewStudy(ds *Dataset) *Study {
 	return &Study{
 		DS:         ds,
-		Classifier: langid.New(),
+		Classifier: langid.Default(),
 		Homograph:  NewHomographDetector(1000),
 		Semantic:   NewSemanticDetector(1000),
 		ScanConfig: DetectorConfig{TopK: 1000},
 	}
 }
 
-// homographMatches runs the corpus homograph scan through the pipeline,
-// recording its metrics.
+// homographMatchesCtx returns the corpus homograph matches, running the
+// pipelined scan on first use and caching on success. Before memoization
+// the scan ran once per consuming section (Table XIII and Figure 5 each
+// paid a full corpus sweep).
+func (st *Study) homographMatchesCtx(ctx context.Context) ([]HomographMatch, error) {
+	st.homoMu.Lock()
+	defer st.homoMu.Unlock()
+	if st.homoDone {
+		return st.homoCached, nil
+	}
+	matches, m, err := ScanHomograph(ctx, st.ScanConfig, st.DS.IDNs, st.ScanWorkers)
+	if err != nil {
+		return nil, err
+	}
+	st.recordScan(m)
+	st.homoCached = matches
+	st.homoDone = true
+	return matches, nil
+}
+
+// homographMatches is the non-cancellable entry point used by sections.
 func (st *Study) homographMatches() []HomographMatch {
-	matches, m, err := ScanHomograph(context.Background(), st.ScanConfig, st.DS.IDNs, st.ScanWorkers)
+	matches, err := st.homographMatchesCtx(context.Background())
 	if err != nil {
 		// Unreachable with a background context and a slice source.
 		panic("core: homograph scan: " + err.Error())
 	}
-	st.recordScan(m)
 	return matches
 }
 
-// semanticMatches runs the corpus Type-1 scan through the pipeline,
-// recording its metrics.
+// semanticMatchesCtx returns the corpus Type-1 matches, running the
+// pipelined scan on first use and caching on success.
+func (st *Study) semanticMatchesCtx(ctx context.Context) ([]SemanticMatch, error) {
+	st.semMu.Lock()
+	defer st.semMu.Unlock()
+	if st.semDone {
+		return st.semCached, nil
+	}
+	matches, m, err := ScanSemantic(ctx, st.ScanConfig.TopK, st.DS.IDNs, st.ScanWorkers)
+	if err != nil {
+		return nil, err
+	}
+	st.recordScan(m)
+	st.semCached = matches
+	st.semDone = true
+	return matches, nil
+}
+
+// semanticMatches is the non-cancellable entry point used by sections.
 func (st *Study) semanticMatches() []SemanticMatch {
-	matches, m, err := ScanSemantic(context.Background(), st.ScanConfig.TopK, st.DS.IDNs, st.ScanWorkers)
+	matches, err := st.semanticMatchesCtx(context.Background())
 	if err != nil {
 		panic("core: semantic scan: " + err.Error())
 	}
-	st.recordScan(m)
 	return matches
 }
 
@@ -85,8 +141,9 @@ func (st *Study) recordScan(m pipeline.Metrics) {
 	st.mu.Unlock()
 }
 
-// ScanMetrics returns one Metrics snapshot per pipelined corpus scan the
-// study has run so far, in execution order.
+// ScanMetrics returns one Metrics snapshot per pipelined pass the study
+// has run so far (index build, corpus scans, section scheduler), in
+// execution order.
 func (st *Study) ScanMetrics() []pipeline.Metrics {
 	st.mu.Lock()
 	defer st.mu.Unlock()
@@ -95,26 +152,113 @@ func (st *Study) ScanMetrics() []pipeline.Metrics {
 	return out
 }
 
+// SectionTiming records how long one report section took to render during
+// the last RunContext.
+type SectionTiming struct {
+	Name     string
+	Duration time.Duration
+}
+
+// SectionTimings returns the per-section render durations of the most
+// recent completed Run/RunContext, in section order.
+func (st *Study) SectionTimings() []SectionTiming {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make([]SectionTiming, len(st.timings))
+	copy(out, st.timings)
+	return out
+}
+
+// reportSection pairs a section renderer with its display name (used in
+// error messages and timing output).
+type reportSection struct {
+	Name string
+	Fn   func(io.Writer) error
+}
+
+// sections returns the report's section list in its fixed output order.
+func (st *Study) sections() []reportSection {
+	return []reportSection{
+		{"Findings", st.ReportFindings},
+		{"Table I", st.ReportTable1}, {"Table II", st.ReportTable2},
+		{"Figure 1", st.ReportFigure1}, {"Table III", st.ReportTable3},
+		{"Table IV", st.ReportTable4}, {"Figure 2", st.ReportFigure2},
+		{"Figure 3", st.ReportFigure3}, {"Figure 4", st.ReportFigure4},
+		{"Table V", st.ReportTable5}, {"Table VI", st.ReportTable6},
+		{"Table VII", st.ReportTable7}, {"Table VIII", st.ReportTable8},
+		{"Table IX", st.ReportTable9}, {"Table X", st.ReportTable10},
+		{"Table XI", st.ReportTable11}, {"Table XI-b", st.ReportTable11b},
+		{"Table XII", st.ReportTable12}, {"Table XIII", st.ReportTable13},
+		{"Figure 5", st.ReportFigure5}, {"Figure 6", st.ReportFigure6},
+		{"Figure 7", st.ReportFigure7}, {"Figure 7b", st.ReportFigure7b},
+		{"Table XIV", st.ReportTable14}, {"Figure 8", st.ReportFigure8},
+	}
+}
+
 // Run executes every experiment and writes the full report to w.
 func (st *Study) Run(w io.Writer) error {
-	sections := []func(io.Writer) error{
-		st.ReportFindings,
-		st.ReportTable1, st.ReportTable2, st.ReportFigure1,
-		st.ReportTable3, st.ReportTable4, st.ReportFigure2,
-		st.ReportFigure3, st.ReportFigure4, st.ReportTable5,
-		st.ReportTable6, st.ReportTable7, st.ReportTable8,
-		st.ReportTable9, st.ReportTable10, st.ReportTable11, st.ReportTable11b, st.ReportTable12,
-		st.ReportTable13, st.ReportFigure5, st.ReportFigure6,
-		st.ReportFigure7, st.ReportFigure7b, st.ReportTable14, st.ReportFigure8,
+	return st.RunContext(context.Background(), w)
+}
+
+// RunContext executes every experiment with bounded-parallel section
+// rendering and writes the full report to w. The three shared substrates
+// — the corpus index and both detector scans — are primed first under the
+// caller's context; the ~25 sections then render concurrently into
+// private buffers that the pipeline's order-preserving fan-in writes to w
+// in the fixed section order. Output is byte-identical to the sequential
+// renderer at any ScanWorkers value. On cancellation RunContext returns
+// ctx.Err() after all section goroutines have drained.
+func (st *Study) RunContext(ctx context.Context, w io.Writer) error {
+	// Prime the shared substrates once, sequentially, under ctx: every
+	// section then reads memoized state instead of racing to compute it.
+	if st.DS.IndexWorkers == 0 {
+		st.DS.IndexWorkers = st.ScanWorkers
 	}
-	for _, section := range sections {
-		if err := section(w); err != nil {
-			return err
-		}
-		if _, err := fmt.Fprintln(w); err != nil {
-			return err
-		}
+	ix := st.DS.Index()
+	st.indexMetricsOnce.Do(func() { st.recordScan(ix.BuildMetrics()) })
+	if err := ctx.Err(); err != nil {
+		return err
 	}
+	if _, err := st.homographMatchesCtx(ctx); err != nil {
+		return err
+	}
+	if _, err := st.semanticMatchesCtx(ctx); err != nil {
+		return err
+	}
+
+	secs := st.sections()
+	timings := make([]SectionTiming, len(secs))
+	eng := pipeline.New(
+		pipeline.Config{Stage: "report", Workers: st.ScanWorkers, Batch: 1},
+		func() struct{} { return struct{}{} },
+		func(_ struct{}, i int) ([]byte, bool, error) {
+			var buf bytes.Buffer
+			t0 := time.Now()
+			if err := secs[i].Fn(&buf); err != nil {
+				return nil, false, fmt.Errorf("section %s: %w", secs[i].Name, err)
+			}
+			// The sequential renderer emitted one blank line after each
+			// section; keep it inside the section's buffer so assembly
+			// is a plain ordered concatenation.
+			buf.WriteByte('\n')
+			timings[i] = SectionTiming{Name: secs[i].Name, Duration: time.Since(t0)}
+			return buf.Bytes(), true, nil
+		})
+	order := make([]int, len(secs))
+	for i := range order {
+		order[i] = i
+	}
+	err := eng.Stream(ctx, pipeline.FromSlice(order), func(b []byte) error {
+		_, werr := w.Write(b)
+		return werr
+	})
+	st.recordScan(eng.Metrics())
+	if err != nil {
+		return err
+	}
+	st.mu.Lock()
+	st.timings = timings
+	st.mu.Unlock()
 	return nil
 }
 
@@ -294,7 +438,9 @@ func (st *Study) ReportTable7(w io.Writer) error {
 // (Table VIII), generated live from the confusable table.
 func (st *Study) ReportTable8(w io.Writer) error {
 	fmt.Fprintln(w, "TABLE VIII: Example homographic IDNs for facebook.com")
-	examples := st.Homograph.ExamplesFor("facebook", 12)
+	// Clone: the detector's Score scratch is not safe for concurrent use,
+	// and sections render in parallel under RunContext.
+	examples := st.Homograph.Clone().ExamplesFor("facebook", 12)
 	for i, ex := range examples {
 		sep := "  "
 		if (i+1)%4 == 0 {
@@ -347,7 +493,8 @@ func (st *Study) ReportTable12(w io.Writer) error {
 	tw := newTab(w)
 	fmt.Fprintln(tw, "TABLE XII: SSIM index ladder against google.com")
 	fmt.Fprintln(tw, "SSIM\tUnicode\tPunycode")
-	for _, row := range st.Homograph.Ladder("google") {
+	// Clone: Ladder scores through the detector's private scratch.
+	for _, row := range st.Homograph.Clone().Ladder("google") {
 		fmt.Fprintf(tw, "%.4f\t%s.com\t%s.com\n", row.SSIM, row.Unicode, row.ACE)
 	}
 	return tw.Flush()
@@ -424,7 +571,11 @@ func (st *Study) ReportFigure6(w io.Writer) error {
 
 // ReportFigure7 renders the availability study (Figure 7).
 func (st *Study) ReportFigure7(w io.Writer) error {
-	results := st.Homograph.AvailabilityStudy(100, st.DS.IDNs)
+	// Clone: the availability sweep scores through the detector's private
+	// scratch, and sections render in parallel under RunContext. The
+	// registration map comes precomputed from the corpus index (the index
+	// pass already decoded every Unicode form).
+	results := st.Homograph.Clone().AvailabilityStudyReg(100, st.DS.Index().AvailabilityReg())
 	totalCand, totalHomo, totalReg := 0, 0, 0
 	for _, r := range results {
 		totalCand += r.Candidates
@@ -477,31 +628,47 @@ func (st *Study) ReportFigure8(w io.Writer) error {
 
 // UnregisteredTraffic returns the query volumes of registered vs
 // unregistered homographic candidates of the top-k brands (Figure 6 data).
+// The sweep splices each single-substitution variant into a reusable
+// buffer instead of materializing the full Variants slice per brand;
+// variant strings only get allocated for the ACE encoding of candidates
+// not already seen. Iteration order matches Table.Variants (positions in
+// order, homoglyphs in code-point order), so the output is identical to
+// the materialized loop.
 func (st *Study) UnregisteredTraffic(topK int) (registered, unregistered []float64) {
 	regSet := make(map[string]struct{}, len(st.DS.IDNs))
 	for _, d := range st.DS.IDNs {
 		regSet[d] = struct{}{}
 	}
 	seen := make(map[string]struct{})
+	keyBuf := make([]byte, 0, 64)
 	for _, b := range topKBrandLabels(topK) {
-		for _, v := range st.Homograph.table.Variants(b) {
-			ace, err := idna.ToASCIILabel(v)
-			if err != nil {
-				continue
-			}
-			name := ace + ".com"
-			if _, dup := seen[name]; dup {
-				continue
-			}
-			seen[name] = struct{}{}
-			e, ok := st.DS.PDNS.Get(name)
-			if !ok {
-				continue
-			}
-			if _, isReg := regSet[name]; isReg {
-				registered = append(registered, float64(e.Queries))
-			} else {
-				unregistered = append(unregistered, float64(e.Queries))
+		for byteOff, base := range b {
+			baseLen := utf8.RuneLen(base)
+			for _, h := range st.Homograph.table.Homoglyphs(base) {
+				keyBuf = append(keyBuf[:0], b[:byteOff]...)
+				keyBuf = utf8.AppendRune(keyBuf, h)
+				keyBuf = append(keyBuf, b[byteOff+baseLen:]...)
+				if _, dup := seen[string(keyBuf)]; dup {
+					// A variant label repeats only with an identical ACE
+					// name (punycode is injective), so skipping repeats
+					// before the encode preserves the name-keyed dedup.
+					continue
+				}
+				seen[string(keyBuf)] = struct{}{}
+				ace, err := idna.ToASCIILabel(string(keyBuf))
+				if err != nil {
+					continue
+				}
+				name := ace + ".com"
+				e, ok := st.DS.PDNS.Get(name)
+				if !ok {
+					continue
+				}
+				if _, isReg := regSet[name]; isReg {
+					registered = append(registered, float64(e.Queries))
+				} else {
+					unregistered = append(unregistered, float64(e.Queries))
+				}
 			}
 		}
 	}
@@ -627,7 +794,9 @@ func NewDefaultDataset(seed uint64, scale int) (*Dataset, error) {
 // this section quantifies the growth: the exact two-substitution space per
 // brand, with the homographic survivor rate estimated on a bounded sample.
 func (st *Study) ReportFigure7b(w io.Writer) error {
-	tab := st.Homograph.table
+	// Clone: the sampled-survivor scoring below mutates detector scratch.
+	det := st.Homograph.Clone()
+	tab := det.table
 	tw := newTab(w)
 	fmt.Fprintln(tw, "FIGURE 7b (extension): candidate space growth with substitutions")
 	fmt.Fprintln(tw, "Brand\t1-sub space\t2-sub space\tgrowth\t2-sub homographic (sampled)")
@@ -642,7 +811,7 @@ func (st *Study) ReportFigure7b(w io.Writer) error {
 		sample := tab.VariantsMulti(label, 2, sampleCap)
 		hits := 0
 		for _, v := range sample {
-			if st.Homograph.Score(v, label) >= st.Homograph.threshold {
+			if det.Score(v, label) >= det.threshold {
 				hits++
 			}
 		}

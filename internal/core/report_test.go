@@ -112,16 +112,9 @@ func TestArt(t *testing.T) {
 	}
 }
 
-func BenchmarkStudyRun(b *testing.B) {
-	st := NewStudy(testDS)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		var sb strings.Builder
-		if err := st.Run(&sb); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
+// BenchmarkStudyRun lives in report_bench_test.go: it assembles a fresh
+// Dataset per iteration so the corpus index and cached scans cannot carry
+// over between timed runs.
 
 func BenchmarkHomographDetectCorpus(b *testing.B) {
 	det := NewHomographDetector(1000)

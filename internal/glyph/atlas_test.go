@@ -68,11 +68,11 @@ func TestRenderWidthIntoMatchesRenderWidth(t *testing.T) {
 		width int
 	}{
 		{"apple.com", 9 * CellWidth},
-		{"ab", 10 * CellWidth}, // pad
+		{"ab", 10 * CellWidth},      // pad
 		{"abcdefgh", 2 * CellWidth}, // truncate
 		{"中文", 2 * CellWidth},
 		{"", 0},
-		{"x", -3}, // negative clamps to 0
+		{"x", -3},                    // negative clamps to 0
 		{"apple.com", 9 * CellWidth}, // shrink buffer back up
 	}
 	for _, tc := range cases {

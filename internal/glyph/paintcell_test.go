@@ -1,0 +1,88 @@
+package glyph
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestPaintCellMatchesFullRender pins the cell-patching contract: painting
+// cell i of a rendered string with rune r must produce exactly the image a
+// full render of the substituted string produces, and the returned column
+// range must cover every pixel that changed.
+func TestPaintCellMatchesFullRender(t *testing.T) {
+	re := NewRenderer()
+	cases := []struct {
+		label string
+		cell  int
+		r     rune
+	}{
+		{"google", 0, 'ģ'},
+		{"google", 3, 'ǫ'},
+		{"google", 5, 'é'},
+		{"facebook", 4, 'ы'},
+		{"a", 0, 'а'}, // Cyrillic а
+		{"paypal", 2, '中'},
+		{"xn--test", 1, 'ñ'},
+	}
+	for _, tc := range cases {
+		runes := []rune(tc.label)
+		width := len(runes) * CellWidth
+		img := re.RenderWidth(tc.label, width)
+		orig := append([]uint8(nil), img.Pix...)
+
+		x0, x1 := re.PaintCell(img, tc.cell, tc.r)
+
+		sub := append([]rune(nil), runes...)
+		sub[tc.cell] = tc.r
+		want := re.RenderWidth(string(sub), width)
+		if !bytes.Equal(img.Pix, want.Pix) {
+			t.Fatalf("%s[%d]=%q: patched image differs from full render", tc.label, tc.cell, tc.r)
+		}
+
+		// Changed pixels must all lie inside the reported range.
+		for y := 0; y < CellHeight; y++ {
+			for x := 0; x < width; x++ {
+				if img.Pix[y*img.Stride+x] != orig[y*img.Stride+x] && (x < x0 || x >= x1) {
+					t.Fatalf("%s[%d]=%q: pixel (%d,%d) changed outside reported range [%d,%d)",
+						tc.label, tc.cell, tc.r, x, y, x0, x1)
+				}
+			}
+		}
+
+		// Restoring the original rune must reproduce the original raster.
+		re.PaintCell(img, tc.cell, runes[tc.cell])
+		if !bytes.Equal(img.Pix, orig) {
+			t.Fatalf("%s[%d]: restore did not reproduce the original raster", tc.label, tc.cell)
+		}
+	}
+}
+
+// TestPaintCellOutOfRange pins the guard rails: a cell beyond the image
+// width must be a no-op reporting an empty range, and a cell that is only
+// partially inside must stay within bounds.
+func TestPaintCellOutOfRange(t *testing.T) {
+	re := NewRenderer()
+	img := re.RenderWidth("abc", 3*CellWidth)
+	orig := append([]uint8(nil), img.Pix...)
+
+	x0, x1 := re.PaintCell(img, 7, 'z')
+	if x0 != x1 {
+		t.Fatalf("out-of-range cell reported non-empty range [%d,%d)", x0, x1)
+	}
+	if x0, x1 = re.PaintCell(img, -1, 'z'); x0 != x1 {
+		t.Fatalf("negative cell reported non-empty range [%d,%d)", x0, x1)
+	}
+	if !bytes.Equal(img.Pix, orig) {
+		t.Fatal("out-of-range PaintCell mutated the image")
+	}
+
+	// Truncated render: last cell clipped mid-glyph must match the full
+	// render of the substituted string at the same truncated width.
+	width := 2*CellWidth + 3
+	img2 := re.RenderWidth("abc", width)
+	re.PaintCell(img2, 2, 'x')
+	want := re.RenderWidth("abx", width)
+	if !bytes.Equal(img2.Pix, want.Pix) {
+		t.Fatal("truncated-cell patch differs from full render")
+	}
+}

@@ -18,6 +18,7 @@ package glyph
 
 import (
 	"image"
+	"math/bits"
 	"strings"
 	"sync"
 )
@@ -238,6 +239,113 @@ func (re *Renderer) RenderWidthInto(dst *image.Gray, s string, width int) *image
 			}
 		}
 		x0 += CellWidth
+	}
+	return dst
+}
+
+// PaintCell overwrites character cell `cell` of img — an image previously
+// produced by Render/RenderWidth/RenderWidthInto with origin (0,0) — with
+// the glyph for r, leaving every other cell untouched. It returns the
+// half-open pixel-column range [x0, x1) that may have changed. Because
+// each rune inks only its own cell's columns, patching cell i of a
+// rendered string yields exactly the image a full render of the
+// substituted string would produce — which is what makes the availability
+// study's single-substitution sweep cheap: one ~5-column repaint instead
+// of a whole-raster re-render per candidate.
+func (re *Renderer) PaintCell(img *image.Gray, cell int, r rune) (x0, x1 int) {
+	width := img.Rect.Dx()
+	x0 = cell * CellWidth
+	if cell < 0 || x0 >= width {
+		return width, width
+	}
+	// Ink only ever occupies the low baseWidth bits of a cell; the spacing
+	// column is background in every render and stays untouched.
+	x1 = x0 + baseWidth
+	if x1 > width {
+		x1 = width
+	}
+	c := re.cellOf(r)
+	height := img.Rect.Dy()
+	if height > CellHeight {
+		height = CellHeight
+	}
+	for y := 0; y < height; y++ {
+		row := img.Pix[y*img.Stride:]
+		bits := c[y]
+		for x := x0; x < x1; x++ {
+			if bits&(1<<uint(x-x0)) != 0 {
+				row[x] = inkPixel
+			} else {
+				row[x] = backgroundPixel
+			}
+		}
+	}
+	return x0, x1
+}
+
+// CellDiff returns the bounding box of pixels that differ between the
+// rendered cells of a and b: column offsets [dx0, dx1) within the cell and
+// row range [dy0, dy1). Pixel-identical cells (e.g. Cyrillic а vs Latin a)
+// return an all-zero empty box. Combined with PaintCell, the box tells a
+// caller exactly which pixels a single-character substitution can change —
+// often just a two-row mark band — which the SSIM changed-rect kernel
+// turns into a proportional cost reduction.
+func (re *Renderer) CellDiff(a, b rune) (dx0, dx1, dy0, dy1 int) {
+	return DiffBox(re.CellBits(a), re.CellBits(b))
+}
+
+// CellBits returns the rasterized cell of r as CellHeight rows of column
+// bitmasks (bit i set = column i inked; only the low baseWidth bits are
+// used). This is the raw form behind Render: substitution sweeps fetch it
+// once per homoglyph and feed it to DiffBox / AppendPatch instead of
+// re-resolving the glyph per pixel.
+func (re *Renderer) CellBits(r rune) [CellHeight]uint8 {
+	return re.cellOf(r)
+}
+
+// DiffBox returns the bounding box of pixels that differ between two cell
+// bitmasks: column offsets [dx0, dx1) and row range [dy0, dy1), or the
+// all-zero empty box when the cells are identical.
+func DiffBox(ca, cb [CellHeight]uint8) (dx0, dx1, dy0, dy1 int) {
+	dx0, dy0 = baseWidth, CellHeight
+	for y := 0; y < CellHeight; y++ {
+		d := ca[y] ^ cb[y]
+		if d == 0 {
+			continue
+		}
+		if y < dy0 {
+			dy0 = y
+		}
+		dy1 = y + 1
+		if lo := bits.TrailingZeros8(d); lo < dx0 {
+			dx0 = lo
+		}
+		if hi := 8 - bits.LeadingZeros8(d); hi > dx1 {
+			dx1 = hi
+		}
+	}
+	if dx1 <= dx0 {
+		return 0, 0, 0, 0
+	}
+	return dx0, dx1, dy0, dy1
+}
+
+// AppendPatch appends the pixel bytes of cell restricted to the box of
+// columns [dx0, dx1) and rows [dy0, dy1) to dst, row-major with stride
+// dx1−dx0, and returns the extended slice. The emitted bytes are exactly
+// what a full render would place at those cell pixels (inkPixel where the
+// bit is set, backgroundPixel elsewhere), so a patch plus its box describes
+// a single-character substitution without touching any raster.
+func AppendPatch(cell [CellHeight]uint8, dx0, dx1, dy0, dy1 int, dst []byte) []byte {
+	for y := dy0; y < dy1; y++ {
+		rowBits := cell[y]
+		for x := dx0; x < dx1; x++ {
+			if rowBits&(1<<uint(x)) != 0 {
+				dst = append(dst, inkPixel)
+			} else {
+				dst = append(dst, backgroundPixel)
+			}
+		}
 	}
 	return dst
 }

@@ -1,0 +1,118 @@
+package langid
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestClassifyZeroAlloc is the steady-state allocation gate for the
+// corpus-wide language breakdown: Classify must not allocate for ASCII
+// labels (Bayes stage), Latin labels with diacritics (Bayes stage plus
+// hint boosts), or script-decisive non-Latin labels (structural stage).
+func TestClassifyZeroAlloc(t *testing.T) {
+	c := New()
+	cases := map[string]string{
+		"ascii":            "example-shop24",
+		"latin-diacritics": "bücher-münchen",
+		"nonlatin":         "北京大学",
+		"cyrillic":         "почта-россии",
+		"mixed":            "shop-中国-24",
+		"empty":            "",
+	}
+	for name, label := range cases {
+		label := label
+		if allocs := testing.AllocsPerRun(200, func() {
+			_ = c.Classify(label)
+		}); allocs != 0 {
+			t.Errorf("%s: Classify(%q) allocates %.1f/op, want 0", name, label, allocs)
+		}
+	}
+	if allocs := testing.AllocsPerRun(200, func() {
+		_ = c.ClassifyDomain("bücher-münchen.de")
+	}); allocs != 0 {
+		t.Errorf("ClassifyDomain allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// denseAlphabets mix the scripts and boundary characters the corpus
+// contains; the property test draws labels from them.
+var denseAlphabets = []string{
+	"abcdefghijklmnopqrstuvwxyz",
+	"abc-123.xyz",
+	"üäößñçéèışğåøæőűđ",
+	"бвгдежзик",
+	"中国北京大学",
+	"ひらがなカタカナ",
+	"한국어쇼핑",
+	"αβγδε",
+	"مرحبا",
+	"ABCDEFÜÄÖ", // exercises the lowering path
+	"^$",        // the boundary markers themselves, as adversarial input
+}
+
+// TestClassifyDenseMatchesReference pins the dense interned-feature scorer
+// to the retained map-based reference over randomized labels: for every
+// label that reaches the Bayes stage, classifyLatin (dense) must agree
+// with classifyLatinRef (maps), and the public Classify must equal the
+// reference pipeline end to end.
+func TestClassifyDenseMatchesReference(t *testing.T) {
+	c := New()
+	rng := rand.New(rand.NewSource(41))
+	for i := 0; i < 20000; i++ {
+		alpha := []rune(denseAlphabets[rng.Intn(len(denseAlphabets))])
+		n := rng.Intn(12)
+		var sb strings.Builder
+		for j := 0; j < n; j++ {
+			sb.WriteRune(alpha[rng.Intn(len(alpha))])
+		}
+		label := sb.String()
+
+		wantLang, decided := classifyByScript(label)
+		if !decided {
+			wantLang = c.classifyLatinRef(label)
+			if gotLatin := c.classifyLatin(label); gotLatin != wantLang {
+				t.Fatalf("classifyLatin(%q) = %v, reference = %v", label, gotLatin, wantLang)
+			}
+		}
+		if got := c.Classify(label); got != wantLang {
+			t.Fatalf("Classify(%q) = %v, reference pipeline = %v", label, got, wantLang)
+		}
+	}
+}
+
+// TestClassifyDomainMatchesSplit pins the zero-alloc SLD extraction to the
+// original strings.Split semantics.
+func TestClassifyDomainMatchesSplit(t *testing.T) {
+	c := New()
+	refSLD := func(domain string) string {
+		domain = strings.TrimSuffix(domain, ".")
+		labels := strings.Split(domain, ".")
+		if len(labels) >= 2 {
+			return labels[len(labels)-2]
+		}
+		return labels[0]
+	}
+	for _, domain := range []string{
+		"bücher.de", "bücher.de.", "a", "a.", "", ".", ".com", "x.y.z",
+		"shop.bücher.example.com", "中国.cn", "..", "a..b",
+	} {
+		if got, want := c.ClassifyDomain(domain), c.Classify(refSLD(domain)); got != want {
+			t.Errorf("ClassifyDomain(%q) = %v, want %v (SLD %q)", domain, got, want, refSLD(domain))
+		}
+	}
+}
+
+// TestDefaultShared verifies the process-wide classifier is trained once
+// and classifies identically to a fresh instance.
+func TestDefaultShared(t *testing.T) {
+	if Default() != Default() {
+		t.Fatal("Default() returned distinct instances")
+	}
+	fresh := New()
+	for _, label := range []string{"bücher", "münchen", "中国", "почта", "shop24", ""} {
+		if got, want := Default().Classify(label), fresh.Classify(label); got != want {
+			t.Errorf("Default().Classify(%q) = %v, fresh = %v", label, got, want)
+		}
+	}
+}

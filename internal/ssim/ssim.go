@@ -274,6 +274,391 @@ func (c *Comparator) IndexRef(rt *RefTable, b *image.Gray) (float64, error) {
 	return packedWindows(rt.t, tB, tX, stride, w, h, win, c.c1, c.c2), nil
 }
 
+// IndexRefSub computes Index(rt.Ref(), b) for a candidate b that is known
+// to differ from the reference only within pixel columns [x0, x1); it is
+// IndexRefSubRect with the full row range. See IndexRefSubRect for the
+// exactness argument.
+func (c *Comparator) IndexRefSub(rt *RefTable, b *image.Gray, x0, x1 int) (float64, error) {
+	return c.IndexRefSubRect(rt, b, x0, x1, 0, rt.h)
+}
+
+// IndexRefSubRect computes Index(rt.Ref(), b) for a candidate b that is
+// known to differ from the reference only within the pixel rectangle of
+// columns [x0, x1) and rows [y0, y1) — the availability study's
+// single-substitution sweep, where each candidate is the brand raster with
+// one character cell repainted and the caller knows the diff bounding box
+// of the two glyphs. Windows that do not overlap the changed rectangle
+// compare bit-identical content, and for such windows windowStat is
+// exactly 1.0 in IEEE arithmetic (the numerator and denominator evaluate
+// to the same float64: with bitwise-equal inputs, 2*μa*μb equals μa²+μb²
+// and 2*cov equals var_a+var_b exactly, because doubling and rounding
+// commute under powers of two). The kernel therefore sums a literal 1.0
+// for every unaffected window — in the same accumulation order as
+// IndexRef, with the leading all-ones prefix collapsed to its exact
+// integer value — and computes real window statistics only for windows
+// overlapping the rectangle, deriving each candidate sum from the
+// reference table plus signed delta integral tables built over just the
+// rectangle: O(rect area) build cost instead of O(W·H). The result is
+// bit-identical to IndexRef(rt, b); callers passing a rectangle that does
+// not actually cover every differing pixel get garbage, so the rectangle
+// is a correctness contract, not a hint.
+func (c *Comparator) IndexRefSubRect(rt *RefTable, b *image.Gray, x0, x1, y0, y1 int) (float64, error) {
+	if rt.w != b.Rect.Dx() || rt.h != b.Rect.Dy() {
+		return 0, ErrSizeMismatch
+	}
+	if rt.t == nil {
+		return c.Index(rt.img, b) // empty or wide: shared fallback paths
+	}
+	w, h := rt.w, rt.h
+	if x0 < 0 {
+		x0 = 0
+	}
+	if x1 > w {
+		x1 = w
+	}
+	if y0 < 0 {
+		y0 = 0
+	}
+	if y1 > h {
+		y1 = h
+	}
+	if x0 >= x1 || y0 >= y1 {
+		// Nothing changed: every window is bit-identical, every window
+		// statistic is exactly 1.0, and the mean of exact 1.0s is 1.0.
+		return 1, nil
+	}
+	return c.refSubPatch(rt, x0, x1, y0, y1, func(gy int) []byte {
+		return b.Pix[gy*b.Stride+x0 : gy*b.Stride+x1]
+	}), nil
+}
+
+// Packed reports whether the reference table holds the packed fast-path
+// summed-area statistics. Patch-based scoring (IndexRefSubPatch) requires
+// a packed table; callers must fall back to a full comparison otherwise.
+func (rt *RefTable) Packed() bool { return rt.t != nil }
+
+// IndexRefSubPatch computes Index(rt.Ref(), b) for a candidate b that is
+// never materialized as an image: b equals the reference everywhere except
+// the rectangle of columns [x0, x1) and rows [y0, y1), whose candidate
+// pixels are supplied row-major in patch (stride x1−x0). This is the
+// zero-materialization form of IndexRefSubRect — the availability sweep
+// passes each homoglyph's few changed pixels directly, skipping the
+// per-candidate raster write entirely — and is bit-identical to rendering
+// the candidate and calling IndexRef. The rectangle must satisfy
+// 0 ≤ x0 < x1 ≤ w and 0 ≤ y0 < y1 ≤ h, patch must hold at least
+// (x1−x0)·(y1−y0) bytes, and rt must be Packed.
+func (c *Comparator) IndexRefSubPatch(rt *RefTable, x0, x1, y0, y1 int, patch []byte) (float64, error) {
+	if rt.t == nil {
+		return 0, errPatchUnpacked
+	}
+	if x0 < 0 || x0 >= x1 || x1 > rt.w || y0 < 0 || y0 >= y1 || y1 > rt.h {
+		return 0, errPatchRect
+	}
+	bw := x1 - x0
+	if len(patch) < bw*(y1-y0) {
+		return 0, errPatchShort
+	}
+	return c.refSubPatch(rt, x0, x1, y0, y1, func(gy int) []byte {
+		off := (gy - y0) * bw
+		return patch[off : off+bw]
+	}), nil
+}
+
+var (
+	errPatchUnpacked = errors.New("ssim: IndexRefSubPatch requires a packed RefTable")
+	errPatchRect     = errors.New("ssim: IndexRefSubPatch rectangle out of bounds")
+	errPatchShort    = errors.New("ssim: IndexRefSubPatch patch shorter than rectangle")
+)
+
+// RefSubPatchAbove reports whether IndexRefSubPatch(rt, x0, x1, y0, y1,
+// patch) >= threshold, with the same contract as IndexRefSubPatch, but
+// usually without paying for the exact score. The mean SSIM of a patched
+// candidate is (k·1.0 + Σ affected windowStat) / n, where k windows are
+// bit-identical to the reference; the exact kernel must replay IndexRef's
+// sequential accumulation through all n windows, an FP-latency chain that
+// dominates the sweep for small patches. This predicate instead computes
+// the mathematically equal reordered sum over only the affected windows,
+// brackets the exact kernel's result with a rigorous rounding-error bound
+// (both sums differ from the real-number sum by at most ~n²·ε/2; the
+// bound below is two orders of magnitude looser), and decides the
+// comparison when the threshold falls outside the bracket. Only when the
+// score and the threshold are within ~1e-9·n of each other — which no
+// generic image pair ever is — does it fall back to the exact sweep, so
+// the decision always equals comparing the exact IndexRefSubPatch score.
+func (c *Comparator) RefSubPatchAbove(rt *RefTable, x0, x1, y0, y1 int, patch []byte, threshold float64) (bool, error) {
+	if rt.t == nil {
+		return false, errPatchUnpacked
+	}
+	if x0 < 0 || x0 >= x1 || x1 > rt.w || y0 < 0 || y0 >= y1 || y1 > rt.h {
+		return false, errPatchRect
+	}
+	bw := x1 - x0
+	if len(patch) < bw*(y1-y0) {
+		return false, errPatchShort
+	}
+	rowB := func(gy int) []byte {
+		off := (gy - y0) * bw
+		return patch[off : off+bw]
+	}
+	t1, t2, tx := c.refSubTables(rt, x0, x1, y0, y1, rowB)
+	w, h := rt.w, rt.h
+	win := min(c.window, w, h)
+	wLo, wHi, yLo, yHi := refSubBounds(w, h, win, x0, x1, y0, y1)
+	bstride := bw + 1
+	bh := y1 - y0
+	fstride := w + 1
+	invN := 1 / float64(win*win)
+	cols := w - win + 1
+	rows := h - win + 1
+	n := cols * rows
+	affected := (wHi - wLo + 1) * (yHi - yLo + 1)
+	// |lhs − n·score| is bounded by the reordering error of both sums plus
+	// the final division's rounding: each is ≤ (n−1)/2 · ε · Σ|terms| with
+	// |windowStat| ≤ ~1.1, i.e. ≤ ~n²·ε. margin = 2e-9·n dominates that by
+	// two or more orders of magnitude for any packed image (n ≤
+	// maxPackedPixels) while still being far below any score-threshold gap
+	// that occurs in practice.
+	margin := 2e-9 * float64(n)
+	rhs := threshold * float64(n)
+	// Every window statistic is at most 1 in real arithmetic (AM-GM on
+	// both windowStat factors) and its float64 evaluation involves only a
+	// handful of roundings, so 1+1e-12 upper-bounds any windowStat value.
+	// Once even perfect scores on the remaining affected windows cannot
+	// lift the sum back over the threshold, the candidate is certifiably
+	// below it and the sweep stops early — the common case for the ~2/3 of
+	// homoglyph candidates the study rejects.
+	const onePlus = 1 + 1e-12
+	rejectAt := rhs - margin
+	var sum float64 // Σ windowStat over affected, non-identical windows
+	ones := 0       // affected windows with zero net delta (exactly 1.0)
+	processed := 0
+	base := float64(n - affected)
+	for y := yLo; y <= yHi; y++ {
+		topA := rt.t[y*fstride:]
+		botA := rt.t[(y+win)*fstride:]
+		cy0 := y - y0
+		if cy0 < 0 {
+			cy0 = 0
+		}
+		cy1 := y + win - y0
+		if cy1 > bh {
+			cy1 = bh
+		}
+		dTop1 := t1[cy0*bstride:]
+		dBot1 := t1[cy1*bstride:]
+		dTop2 := t2[cy0*bstride:]
+		dBot2 := t2[cy1*bstride:]
+		dTopX := tx[cy0*bstride:]
+		dBotX := tx[cy1*bstride:]
+		for x := wLo; x <= wHi; x++ {
+			xw := x + win
+			cx0 := x - x0
+			if cx0 < 0 {
+				cx0 = 0
+			}
+			cx1 := xw - x0
+			if cx1 > bw {
+				cx1 = bw
+			}
+			d1 := int64(dBot1[cx1]) - int64(dTop1[cx1]) - int64(dBot1[cx0]) + int64(dTop1[cx0])
+			d2 := int64(dBot2[cx1]) - int64(dTop2[cx1]) - int64(dBot2[cx0]) + int64(dTop2[cx0])
+			dx := int64(dBotX[cx1]) - int64(dTopX[cx1]) - int64(dBotX[cx0]) + int64(dTopX[cx0])
+			processed++
+			if d1 == 0 && d2 == 0 && dx == 0 {
+				ones++
+				continue
+			}
+			sa := botA[xw] + topA[x] - topA[xw] - botA[x]
+			saL := int64(uint32(sa))
+			saH := int64(sa >> 32)
+			sum += windowStat(
+				float64(saL), float64(saL+d1),
+				float64(saH), float64(saH+d2),
+				float64(saH+dx), invN, c.c1, c.c2)
+			if base+float64(ones)+sum+float64(affected-processed)*onePlus <= rejectAt {
+				return false, nil
+			}
+		}
+	}
+	// k identical windows contribute exactly 1.0 each in the exact kernel.
+	lhs := base + float64(ones) + sum
+	if lhs >= rhs+margin {
+		return true, nil
+	}
+	if lhs <= rhs-margin {
+		return false, nil
+	}
+	// Inconclusive: replay the exact sequential sweep (tables are already
+	// built and still live in the scratch buffer).
+	return c.refSubSweep(rt, x0, x1, y0, y1, t1, t2, tx) >= threshold, nil
+}
+
+// refSubBounds computes the window-position range whose win×win span
+// intersects the changed rectangle. The rectangle is already validated and
+// non-empty, so both ranges are non-empty after clamping.
+func refSubBounds(w, h, win, x0, x1, y0, y1 int) (wLo, wHi, yLo, yHi int) {
+	wLo = x0 - win + 1
+	if wLo < 0 {
+		wLo = 0
+	}
+	wHi = x1 - 1
+	if wHi > w-win {
+		wHi = w - win
+	}
+	yLo = y0 - win + 1
+	if yLo < 0 {
+		yLo = 0
+	}
+	yHi = y1 - 1
+	if yHi > h-win {
+		yHi = h - win
+	}
+	return wLo, wHi, yLo, yHi
+}
+
+// refSubTables builds the three delta integral tables over the changed
+// rectangle in the Comparator's scratch buffer:
+//
+// Every candidate window sum is the reference window sum plus the
+// contribution of the changed pixels: Σb = Σa + Σ(b−a), Σb² = Σa² +
+// Σ(b²−a²), Σab = Σa² + Σa·(b−a), with the correction terms supported
+// only on the changed rectangle. All quantities are exact integers, so
+// deriving the candidate sums from rt's table plus three tiny signed
+// integral tables over the rectangle yields bit-for-bit the same
+// float64 inputs as building full candidate tables — at O(rect area)
+// build cost instead of O(W·H). Signed deltas are stored as
+// two's-complement uint64 in the shared scratch.
+func (c *Comparator) refSubTables(rt *RefTable, x0, x1, y0, y1 int, rowB func(gy int) []byte) (t1, t2, tx []uint64) {
+	bw := x1 - x0
+	bh := y1 - y0
+	bstride := bw + 1
+	bn := bstride * (bh + 1)
+	buf := c.scratch(3 * bn)
+	t1 = buf[0*bn : 1*bn] // Σ(b−a)
+	t2 = buf[1*bn : 2*bn] // Σ(b²−a²)
+	tx = buf[2*bn : 3*bn] // Σa·(b−a)
+	for x := 0; x < bstride; x++ {
+		t1[x], t2[x], tx[x] = 0, 0, 0
+	}
+	for y := 0; y < bh; y++ {
+		gy := y0 + y
+		rowA := rt.img.Pix[gy*rt.img.Stride+x0 : gy*rt.img.Stride+x1]
+		rb := rowB(gy)
+		prev := y * bstride
+		cur := prev + bstride
+		t1[cur], t2[cur], tx[cur] = 0, 0, 0
+		var r1, r2, rx int64
+		for x := 0; x < bw; x++ {
+			pa := int64(rowA[x])
+			pb := int64(rb[x])
+			r1 += pb - pa
+			r2 += pb*pb - pa*pa
+			rx += pa * (pb - pa)
+			t1[cur+x+1] = uint64(int64(t1[prev+x+1]) + r1)
+			t2[cur+x+1] = uint64(int64(t2[prev+x+1]) + r2)
+			tx[cur+x+1] = uint64(int64(tx[prev+x+1]) + rx)
+		}
+	}
+	return t1, t2, tx
+}
+
+// refSubPatch is the shared changed-rect kernel behind IndexRefSubRect and
+// IndexRefSubPatch: rowB returns the candidate pixels of image row gy
+// restricted to the rectangle columns. The rectangle is already validated
+// and non-empty.
+func (c *Comparator) refSubPatch(rt *RefTable, x0, x1, y0, y1 int, rowB func(gy int) []byte) float64 {
+	t1, t2, tx := c.refSubTables(rt, x0, x1, y0, y1, rowB)
+	return c.refSubSweep(rt, x0, x1, y0, y1, t1, t2, tx)
+}
+
+// refSubSweep is the exact full-window sweep over previously built delta
+// tables: it reproduces IndexRef's accumulation order bit for bit, with
+// the leading all-ones prefix collapsed to its exact integer value.
+func (c *Comparator) refSubSweep(rt *RefTable, x0, x1, y0, y1 int, t1, t2, tx []uint64) float64 {
+	w, h := rt.w, rt.h
+	win := min(c.window, w, h)
+	wLo, wHi, yLo, yHi := refSubBounds(w, h, win, x0, x1, y0, y1)
+	bw := x1 - x0
+	bh := y1 - y0
+	bstride := bw + 1
+	fstride := w + 1
+	cols := w - win + 1
+	invN := 1 / float64(win*win)
+	// Leading all-ones prefix (full rows above yLo plus the head of row
+	// yLo): summing 1.0 k times from zero yields the exact integer k at
+	// every step, so the collapsed prefix is bit-identical to the
+	// sequential accumulation.
+	sum := float64(yLo*cols + wLo)
+	for y := yLo; y <= yHi; y++ {
+		topA := rt.t[y*fstride:]
+		botA := rt.t[(y+win)*fstride:]
+		// Row intersection of the win-tall window with the rectangle,
+		// in rectangle-local coordinates — constant across this row.
+		cy0 := y - y0
+		if cy0 < 0 {
+			cy0 = 0
+		}
+		cy1 := y + win - y0
+		if cy1 > bh {
+			cy1 = bh
+		}
+		dTop1 := t1[cy0*bstride:]
+		dBot1 := t1[cy1*bstride:]
+		dTop2 := t2[cy0*bstride:]
+		dBot2 := t2[cy1*bstride:]
+		dTopX := tx[cy0*bstride:]
+		dBotX := tx[cy1*bstride:]
+		if y > yLo {
+			// Identical windows left of the strip: exactly 1.0 each,
+			// added one at a time to preserve the accumulation order
+			// (the sum is no longer an integer here).
+			for x := 0; x < wLo; x++ {
+				sum += 1.0
+			}
+		}
+		for x := wLo; x <= wHi; x++ {
+			xw := x + win
+			sa := botA[xw] + topA[x] - topA[xw] - botA[x]
+			saL := int64(uint32(sa)) // Σa over the window
+			saH := int64(sa >> 32)   // Σa² over the window
+			// Column intersection with the rectangle.
+			cx0 := x - x0
+			if cx0 < 0 {
+				cx0 = 0
+			}
+			cx1 := xw - x0
+			if cx1 > bw {
+				cx1 = bw
+			}
+			d1 := int64(dBot1[cx1]) - int64(dTop1[cx1]) - int64(dBot1[cx0]) + int64(dTop1[cx0])
+			d2 := int64(dBot2[cx1]) - int64(dTop2[cx1]) - int64(dBot2[cx0]) + int64(dTop2[cx0])
+			dx := int64(dBotX[cx1]) - int64(dTopX[cx1]) - int64(dBotX[cx0]) + int64(dTopX[cx0])
+			if d1 == 0 && d2 == 0 && dx == 0 {
+				// The changed pixels inside this window carry zero net
+				// delta in all three statistics, so the candidate sums
+				// equal the reference sums and the statistic is exactly
+				// 1.0 — same value windowStat would return, skipped.
+				// (Typical when the window covers only background rows of
+				// the rectangle.)
+				sum += 1.0
+				continue
+			}
+			sum += windowStat(
+				float64(saL), float64(saL+d1),
+				float64(saH), float64(saH+d2),
+				float64(saH+dx), invN, c.c1, c.c2)
+		}
+		for x := wHi + 1; x < cols; x++ {
+			sum += 1.0
+		}
+	}
+	// Trailing all-ones rows below yHi.
+	for k := (h - win - yHi) * cols; k > 0; k-- {
+		sum += 1.0
+	}
+	return sum / float64(cols*(h-win+1))
+}
+
 // indexWide is the five-table kernel for images too large for packed
 // 32-bit halves. Same math, one table per statistic.
 func (c *Comparator) indexWide(a, b *image.Gray, w, h, win int) float64 {

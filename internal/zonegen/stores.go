@@ -242,12 +242,23 @@ func (r *Registry) NonIDNs() []string {
 	return out
 }
 
-// Lookup finds a registry domain by ACE name.
+// Lookup finds a registry domain by ACE name. The first call builds a
+// map index over Domains (previously every Lookup was an O(N) scan, paid
+// once per crawled domain by the usage census); the index is built once
+// and safe for concurrent Lookups, provided Domains is no longer mutated
+// — generation completes before any Lookup.
 func (r *Registry) Lookup(ace string) (*Domain, bool) {
-	for i := range r.Domains {
-		if r.Domains[i].ACE == ace {
-			return &r.Domains[i], true
+	r.byACEOnce.Do(func() {
+		r.byACE = make(map[string]int, len(r.Domains))
+		for i := range r.Domains {
+			// First entry wins, matching the original scan order.
+			if _, dup := r.byACE[r.Domains[i].ACE]; !dup {
+				r.byACE[r.Domains[i].ACE] = i
+			}
 		}
+	})
+	if i, ok := r.byACE[ace]; ok {
+		return &r.Domains[i], true
 	}
 	return nil, false
 }

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"sort"
 	"strconv"
+	"sync"
 	"time"
 
 	"idnlab/internal/idna"
@@ -127,6 +128,12 @@ type Registry struct {
 	SLDTotals map[string]int
 	// ITLDs lists the 53 internationalized TLD origins in ACE form.
 	ITLDs []string
+
+	// byACE indexes Domains by ACE name, built lazily on the first
+	// Lookup. Before the index each Lookup was a linear scan over the
+	// whole registry — the crawler's per-probe cost was O(corpus).
+	byACEOnce sync.Once
+	byACE     map[string]int
 }
 
 // scaleCount divides a paper-scale count by the configured scale with
