@@ -14,7 +14,7 @@ SSIM_BENCH_PATTERN = ^(BenchmarkScore|BenchmarkWithoutPrefilter|BenchmarkSSIMKer
 REPORT_BENCHTIME ?= 1s
 REPORT_BENCH_PATTERN = ^(BenchmarkStudyRun|BenchmarkLangIDClassify|BenchmarkLangIDClassifyDomain)$$
 
-.PHONY: all build vet test race bench bench-ssim bench-report report fuzz fuzz-smoke serve-smoke serve-bench clean
+.PHONY: all build vet test race bench bench-ssim bench-report report fuzz fuzz-smoke serve-smoke serve-bench cluster-smoke cluster-bench clean
 
 all: build vet test
 
@@ -82,6 +82,20 @@ serve-smoke:
 SERVE_BENCH_DURATION ?= 10s
 serve-bench:
 	sh scripts/serve_bench.sh $(SERVE_BENCH_DURATION)
+
+# Distribution-tier smoke (PR 5): idngateway + 2 idnserve workers, the
+# full smoke set through the gateway, SIGKILL one worker, smoke again on
+# the survivors, clean SIGTERM drains.
+cluster-smoke:
+	sh scripts/cluster_smoke.sh
+
+# Horizontal-scaling benchmark (PR 5): one rate-capped worker vs gateway
+# + 3 rate-capped workers, sustained 2xx QPS into BENCH_cluster.json.
+# Fails if the 3-node cluster does not sustain >= 2x one node.
+CLUSTER_BENCH_DURATION ?= 8s
+CLUSTER_BENCH_RATE ?= 500
+cluster-bench:
+	sh scripts/cluster_bench.sh $(CLUSTER_BENCH_DURATION) $(CLUSTER_BENCH_RATE)
 
 # Reduced-budget fuzz pass for CI.
 fuzz-smoke:

@@ -1,0 +1,130 @@
+// Command idngateway fronts a cluster of idnserve workers: a
+// consistent-hash (rendezvous) gateway that partitions the verdict
+// keyspace by normalized ACE domain, so each name's verdict is cached on
+// exactly one owner and aggregate cache capacity grows with node count.
+//
+// Endpoints:
+//
+//	POST /v1/detect        routed to the key's ring owner (hedged for tail latency)
+//	POST /v1/detect/batch  split by owner, scatter/gathered, reassembled in order
+//	POST /v1/join          worker registration + heartbeat (idnserve -join)
+//	GET  /healthz          gateway liveness; 503 while draining
+//	GET  /readyz           cluster readiness (>= min-ready alive workers)
+//	GET  /clusterz         membership, ring and circuit-breaker state
+//	GET  /metrics          gateway counters + merged per-worker metrics
+//
+// Failure handling: a killed worker is detected by proxy-failure
+// feedback (faster than the heartbeat timers), its key range reassigns
+// to the surviving ring, and in-flight requests retry on survivors —
+// clients see latency, not errors.
+//
+// Usage:
+//
+//	idngateway -listen 127.0.0.1:8180
+//	idnserve -listen 127.0.0.1:8181 -join 127.0.0.1:8180
+//	idnserve -listen 127.0.0.1:8182 -join 127.0.0.1:8180
+//	curl -d '{"domain":"аррӏе.com"}' http://127.0.0.1:8180/v1/detect
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"idnlab/internal/cluster"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "idngateway:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		listen       = flag.String("listen", "127.0.0.1:8180", "HTTP listen address (use :0 for an ephemeral port)")
+		nodeID       = flag.String("node", "", "gateway node ID (default generated)")
+		heartbeat    = flag.Duration("heartbeat", time.Second, "worker heartbeat cadence advertised on join")
+		suspectAfter = flag.Duration("suspect-after", 0, "silence before a worker is suspect (0 = 3x heartbeat)")
+		deadAfter    = flag.Duration("dead-after", 0, "silence before a worker is dead (0 = 10x heartbeat)")
+		attempts     = flag.Int("attempts", 3, "max ring candidates tried per request")
+		hedge        = flag.Duration("hedge", 0, "hedged-request delay for single detects (0 = off)")
+		maxBatch     = flag.Int("max-batch", 256, "max labels per batch request (must match workers)")
+		reqTimeout   = flag.Duration("timeout", 2*time.Second, "per-request deadline including retries")
+		scatter      = flag.Int("scatter-workers", 16, "concurrent sub-batch fan-out bound")
+		minReady     = flag.Int("min-ready", 1, "alive workers required for /readyz")
+		drain        = flag.Duration("drain", 5*time.Second, "graceful shutdown budget")
+	)
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	id := *nodeID
+	if id == "" {
+		host, _ := os.Hostname()
+		if host == "" {
+			host = "gateway"
+		}
+		id = fmt.Sprintf("gw-%s-%d", host, os.Getpid())
+	}
+	gw := cluster.NewGateway(cluster.GatewayConfig{
+		NodeID: id,
+		Membership: cluster.MembershipConfig{
+			HeartbeatInterval: *heartbeat,
+			SuspectAfter:      *suspectAfter,
+			DeadAfter:         *deadAfter,
+		},
+		Router: cluster.RouterConfig{
+			MaxAttempts: *attempts,
+			Hedge:       *hedge,
+		},
+		MaxBatch:       *maxBatch,
+		RequestTimeout: *reqTimeout,
+		ScatterWorkers: *scatter,
+		MinReady:       *minReady,
+		DrainTimeout:   *drain,
+	})
+
+	ready := make(chan net.Addr, 1)
+	errc := make(chan error, 1)
+	go func() { errc <- gw.Run(ctx, *listen, ready) }()
+	select {
+	case addr := <-ready:
+		// The exact "listening on" line is the smoke harness's readiness
+		// signal; keep it stable.
+		fmt.Printf("idngateway: listening on %s (min-ready=%d, SIGTERM to drain)\n", addr, *minReady)
+		go announceQuorum(ctx, gw, *minReady)
+	case err := <-errc:
+		return err
+	}
+	err := <-errc
+	if err == nil {
+		fmt.Println("idngateway: drained cleanly")
+	}
+	return err
+}
+
+// announceQuorum prints a stable line once min-ready workers are alive
+// — the cluster smoke harness's signal that scatter targets exist.
+func announceQuorum(ctx context.Context, gw *cluster.Gateway, minReady int) {
+	tick := time.NewTicker(50 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			if n := gw.Membership().AliveCount(); n >= minReady {
+				fmt.Printf("idngateway: serving %d workers\n", n)
+				return
+			}
+		case <-ctx.Done():
+			return
+		}
+	}
+}

@@ -11,12 +11,24 @@
 // the request mix covers homographs, semantic IDNs and clean names.
 //
 //	idnload -addr 127.0.0.1:8181 -duration 10s -concurrency 64
-//	idnload -addr 127.0.0.1:8181 -smoke   # deterministic correctness set
+//	idnload -targets 127.0.0.1:8181,127.0.0.1:8182 -duration 10s
+//	idnload -addr 127.0.0.1:8180 -smoke   # deterministic correctness set
+//
+// -targets accepts a comma-separated list of addresses, spread
+// round-robin per worker — it can drive a single idnserve, the
+// idngateway, or a set of workers directly (bypassing the gateway, for
+// measuring the routing tier's overhead).
+//
+// Back-pressure: a 429 reply's Retry-After is honored — the worker
+// sleeps min(Retry-After, -backoff-cap) before its next request instead
+// of immediately re-firing into a saturated server. Sheds (429) are
+// reported separately from errors: shedding is the server working as
+// designed, errors are not.
 //
 // -smoke fires a fixed mixed single/batch/bad-input request set,
 // asserting status codes and verdict fields; it exits non-zero on any
-// deviation. The serve-smoke make target wraps it with server boot and
-// SIGTERM drain.
+// deviation. The serve-smoke and cluster-smoke make targets wrap it
+// with server boot and SIGTERM drain.
 package main
 
 import (
@@ -28,6 +40,7 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -46,7 +59,8 @@ func main() {
 
 func run() error {
 	var (
-		addr        = flag.String("addr", "127.0.0.1:8181", "idnserve address")
+		addr        = flag.String("addr", "127.0.0.1:8181", "idnserve/idngateway address")
+		targets     = flag.String("targets", "", "comma-separated addresses to spread load across (overrides -addr)")
 		duration    = flag.Duration("duration", 10*time.Second, "load duration")
 		concurrency = flag.Int("concurrency", 32, "concurrent request workers")
 		batchFrac   = flag.Float64("batch-frac", 0.0, "fraction of requests sent as batches")
@@ -55,16 +69,20 @@ func run() error {
 		seed        = flag.Uint64("seed", 1, "corpus and stream seed")
 		scale       = flag.Int("scale", 2000, "universe down-scaling divisor for the replay corpus")
 		timeout     = flag.Duration("timeout", 2*time.Second, "per-request client timeout")
+		backoffCap  = flag.Duration("backoff-cap", 2*time.Second, "cap on honored Retry-After sleeps (0 = ignore Retry-After)")
 		smoke       = flag.Bool("smoke", false, "run the deterministic smoke request set and exit")
 		maxBatch    = flag.Int("max-batch", 256, "server's configured batch cap (smoke oversize probe)")
 	)
 	flag.Parse()
 
-	base := "http://" + *addr
-	if *smoke {
-		return runSmoke(base, *maxBatch)
+	bases, err := parseTargets(*targets, *addr)
+	if err != nil {
+		return err
 	}
-	return runLoad(base, loadConfig{
+	if *smoke {
+		return runSmoke(bases[0], *maxBatch)
+	}
+	return runLoad(bases, loadConfig{
 		duration:    *duration,
 		concurrency: *concurrency,
 		batchFrac:   *batchFrac,
@@ -73,7 +91,31 @@ func run() error {
 		seed:        *seed,
 		scale:       *scale,
 		timeout:     *timeout,
+		backoffCap:  *backoffCap,
 	})
+}
+
+// parseTargets resolves the -targets/-addr pair into base URLs.
+func parseTargets(targets, addr string) ([]string, error) {
+	raw := []string{addr}
+	if targets != "" {
+		raw = strings.Split(targets, ",")
+	}
+	bases := make([]string, 0, len(raw))
+	for _, t := range raw {
+		t = strings.TrimSpace(t)
+		if t == "" {
+			continue
+		}
+		if !strings.Contains(t, "://") {
+			t = "http://" + t
+		}
+		bases = append(bases, strings.TrimRight(t, "/"))
+	}
+	if len(bases) == 0 {
+		return nil, fmt.Errorf("no targets")
+	}
+	return bases, nil
 }
 
 type loadConfig struct {
@@ -85,6 +127,7 @@ type loadConfig struct {
 	seed        uint64
 	scale       int
 	timeout     time.Duration
+	backoffCap  time.Duration
 }
 
 // corpus builds the replay population: every IDN in the synthetic
@@ -121,14 +164,14 @@ type workerStats struct {
 	labels    uint64
 }
 
-func runLoad(base string, cfg loadConfig) error {
+func runLoad(bases []string, cfg loadConfig) error {
 	fmt.Fprintf(os.Stderr, "idnload: building replay corpus (scale=%d)...\n", cfg.scale)
 	labels, err := corpus(cfg.seed, cfg.scale)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "idnload: %d labels, zipf=%.2f, %d workers, %s\n",
-		len(labels), cfg.zipfExp, cfg.concurrency, cfg.duration)
+	fmt.Fprintf(os.Stderr, "idnload: %d labels, zipf=%.2f, %d workers, %d targets, %s\n",
+		len(labels), cfg.zipfExp, cfg.concurrency, len(bases), cfg.duration)
 
 	client := &http.Client{
 		Timeout: cfg.timeout,
@@ -151,11 +194,22 @@ func runLoad(base string, cfg loadConfig) error {
 			src := simrand.New(cfg.seed + uint64(id)*7919 + 1)
 			zipf := simrand.NewZipf(src, len(labels), cfg.zipfExp)
 			st.latencies = make([]time.Duration, 0, 1<<14)
-			for !stop.Load() {
+			for n := id; !stop.Load(); n++ {
+				base := bases[n%len(bases)] // per-worker round-robin over targets
+				var code int
+				var retryAfter time.Duration
 				if cfg.batchFrac > 0 && src.Float64() < cfg.batchFrac {
-					doBatch(client, base, labels, zipf, cfg.batchSize, st)
+					code, retryAfter = doBatch(client, base, labels, zipf, cfg.batchSize, st)
 				} else {
-					doSingle(client, base, labels[zipf.Next()], st)
+					code, retryAfter = doSingle(client, base, labels[zipf.Next()], st)
+				}
+				// Honor 429 back-pressure: sleep min(Retry-After, cap)
+				// instead of re-firing into a saturated server.
+				if code == 429 && cfg.backoffCap > 0 {
+					if retryAfter <= 0 || retryAfter > cfg.backoffCap {
+						retryAfter = cfg.backoffCap
+					}
+					sleepUnless(&stop, retryAfter)
 				}
 			}
 		}(w)
@@ -179,20 +233,44 @@ func runLoad(base string, cfg loadConfig) error {
 		tot.labels += st.labels
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
-	requests := len(all)
+	requests := len(all) + int(tot.dropped)
 	fmt.Printf("idnload: %d requests in %s (%.0f req/s), %d labels classified (%.0f labels/s)\n",
 		requests, elapsed.Round(time.Millisecond),
 		float64(requests)/elapsed.Seconds(), tot.labels, float64(tot.labels)/elapsed.Seconds())
 	fmt.Printf("status: 2xx=%d 429=%d 4xx=%d 5xx=%d dropped=%d\n",
 		tot.s2xx, tot.s429, tot.s4xx, tot.s5xx, tot.dropped)
+	// Successful throughput on its own line: the cluster benchmark
+	// parses "ok: N req/s"; only 2xx replies count toward capacity.
+	fmt.Printf("ok: %.0f req/s (2xx)\n", float64(tot.s2xx)/elapsed.Seconds())
+	// Sheds are the server's admission control working as designed;
+	// errors are not. Report the two rates separately.
+	errors := tot.s4xx + tot.s5xx + tot.dropped
 	if requests > 0 {
+		fmt.Printf("shed-rate: %.2f%% (429)  error-rate: %.2f%% (4xx+5xx+dropped)\n",
+			100*float64(tot.s429)/float64(requests), 100*float64(errors)/float64(requests))
+	}
+	if len(all) > 0 {
 		fmt.Printf("latency: p50=%s p90=%s p99=%s max=%s\n",
-			quantile(all, 0.50), quantile(all, 0.90), quantile(all, 0.99), all[requests-1])
+			quantile(all, 0.50), quantile(all, 0.90), quantile(all, 0.99), all[len(all)-1])
 	}
 	if tot.dropped > 0 || tot.s5xx > 0 {
 		return fmt.Errorf("%d dropped, %d server errors", tot.dropped, tot.s5xx)
 	}
 	return nil
+}
+
+// sleepUnless sleeps for d in small slices so a stopped run exits
+// promptly even mid-backoff.
+func sleepUnless(stop *atomic.Bool, d time.Duration) {
+	const slice = 25 * time.Millisecond
+	for d > 0 && !stop.Load() {
+		s := d
+		if s > slice {
+			s = slice
+		}
+		time.Sleep(s)
+		d -= s
+	}
 }
 
 func quantile(sorted []time.Duration, q float64) time.Duration {
@@ -221,20 +299,21 @@ func record(st *workerStats, code int, lat time.Duration, labels uint64) {
 	}
 }
 
-func doSingle(client *http.Client, base, domain string, st *workerStats) {
+func doSingle(client *http.Client, base, domain string, st *workerStats) (int, time.Duration) {
 	body, _ := json.Marshal(map[string]string{"domain": domain})
 	t0 := time.Now()
 	resp, err := client.Post(base+"/v1/detect", "application/json", bytes.NewReader(body))
 	if err != nil {
 		st.dropped++
-		return
+		return 0, 0
 	}
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
 	record(st, resp.StatusCode, time.Since(t0), 1)
+	return resp.StatusCode, retryAfterOf(resp)
 }
 
-func doBatch(client *http.Client, base string, labels []string, zipf *simrand.Zipf, n int, st *workerStats) {
+func doBatch(client *http.Client, base string, labels []string, zipf *simrand.Zipf, n int, st *workerStats) (int, time.Duration) {
 	domains := make([]string, n)
 	for i := range domains {
 		domains[i] = labels[zipf.Next()]
@@ -244,11 +323,26 @@ func doBatch(client *http.Client, base string, labels []string, zipf *simrand.Zi
 	resp, err := client.Post(base+"/v1/detect/batch", "application/json", bytes.NewReader(body))
 	if err != nil {
 		st.dropped++
-		return
+		return 0, 0
 	}
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
 	record(st, resp.StatusCode, time.Since(t0), uint64(n))
+	return resp.StatusCode, retryAfterOf(resp)
+}
+
+// retryAfterOf parses a delay-seconds Retry-After header (the only form
+// idnserve/idngateway emit). Absent or unparseable headers yield 0.
+func retryAfterOf(resp *http.Response) time.Duration {
+	v := resp.Header.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(strings.TrimSpace(v))
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
 }
 
 // --- smoke mode -------------------------------------------------------

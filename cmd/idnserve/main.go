@@ -9,6 +9,8 @@
 //	POST /v1/detect        {"domain":"xn--pple-43d.com"}
 //	POST /v1/detect/batch  {"domains":["...","..."]}
 //	GET  /healthz          liveness; 503 while draining
+//	GET  /readyz           readiness: warm-up done + admission headroom
+//	GET  /clusterz         peer-mode membership view (with -join)
 //	GET  /metrics          JSON counters, latency percentiles, cache+admission stats
 //
 // SIGINT/SIGTERM trigger a graceful drain: health flips to 503,
@@ -17,6 +19,7 @@
 // Usage:
 //
 //	idnserve -listen 127.0.0.1:8181 -brands 1000 -cache 65536
+//	idnserve -listen 127.0.0.1:8181 -join 127.0.0.1:8180   # register with idngateway
 //	curl -d '{"domain":"аррӏе.com"}' http://127.0.0.1:8181/v1/detect
 package main
 
@@ -54,6 +57,10 @@ func run() error {
 		reqTimeout  = flag.Duration("timeout", time.Second, "per-request deadline")
 		maxBatch    = flag.Int("max-batch", 256, "max labels per batch request")
 		drain       = flag.Duration("drain", 5*time.Second, "graceful shutdown budget")
+		join        = flag.String("join", "", "idngateway address to register with (peer mode)")
+		nodeID      = flag.String("node", "", "node ID for health bodies and ring placement (default <hostname>-<pid>)")
+		advertise   = flag.String("advertise", "", "host:port the gateway should route to (default: the bound listen address)")
+		maxRPS      = flag.Int("rate", 0, "per-node request rate cap, req/s (0 = unlimited)")
 	)
 	flag.Parse()
 
@@ -61,6 +68,8 @@ func run() error {
 	defer stop()
 
 	srv := serve.NewServer(serve.Config{
+		NodeID:         *nodeID,
+		MaxRPS:         *maxRPS,
 		TopK:           *topK,
 		Threshold:      *threshold,
 		Workers:        *workers,
@@ -82,6 +91,23 @@ func run() error {
 		// The exact "listening on" line is the smoke harness's readiness
 		// signal; keep it stable.
 		fmt.Printf("idnserve: listening on %s (brands=%d, SIGTERM to drain)\n", addr, *topK)
+		if *join != "" {
+			// Peer mode: self-register with the gateway and heartbeat on
+			// its advertised cadence. The advertise address defaults to
+			// the actually bound listener (resolves :0 correctly).
+			adv := *advertise
+			if adv == "" {
+				adv = addr.String()
+			}
+			id := *nodeID
+			if id == "" {
+				id = adv // a worker's reachable address is a fine identity
+			}
+			p := serve.NewPeer(*join, id, adv)
+			srv.AttachPeer(p)
+			go p.Run(ctx)
+			fmt.Printf("idnserve: joining cluster at %s as %s (%s)\n", *join, id, adv)
+		}
 	case err := <-errc:
 		return err
 	}

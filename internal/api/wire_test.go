@@ -1,0 +1,35 @@
+package api
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestDecodeDetectStrict(t *testing.T) {
+	for _, bad := range []string{
+		`{`, `{"domain":""}`, `{"nope":"x"}`, `[]`, ``, `{"domain":"a.com"} garbage`,
+		`{"domain":"a.com","extra":1}`,
+	} {
+		if _, err := DecodeDetect(strings.NewReader(bad)); !errors.Is(err, ErrMalformed) {
+			t.Errorf("DecodeDetect(%q): err = %v, want ErrMalformed", bad, err)
+		}
+	}
+	req, err := DecodeDetect(strings.NewReader(`{"domain":"xn--pple-43d.com"}`))
+	if err != nil || req.Domain != "xn--pple-43d.com" {
+		t.Fatalf("DecodeDetect valid: %+v, %v", req, err)
+	}
+}
+
+func TestDecodeBatchCap(t *testing.T) {
+	if _, err := DecodeBatch(strings.NewReader(`{"domains":[]}`), 4); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("empty batch: %v, want ErrMalformed", err)
+	}
+	if _, err := DecodeBatch(strings.NewReader(`{"domains":["a","b","c"]}`), 2); !errors.Is(err, ErrBatchTooLarge) {
+		t.Fatalf("oversized batch: %v, want ErrBatchTooLarge", err)
+	}
+	req, err := DecodeBatch(strings.NewReader(`{"domains":["a.com","b.com"]}`), 2)
+	if err != nil || len(req.Domains) != 2 {
+		t.Fatalf("valid batch: %+v, %v", req, err)
+	}
+}

@@ -1,0 +1,551 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"idnlab/internal/api"
+	"idnlab/internal/core"
+	"idnlab/internal/metricsutil"
+	"idnlab/internal/pipeline"
+	"idnlab/internal/version"
+)
+
+// GatewayConfig parameterizes a Gateway. The zero value selects sane
+// defaults throughout.
+type GatewayConfig struct {
+	// NodeID names the gateway in health bodies (default generated).
+	NodeID string
+	// Membership and Router parameterize the cluster plumbing.
+	Membership MembershipConfig
+	Router     RouterConfig
+	// MaxBatch bounds labels per batch request and MUST match the
+	// workers' cap — the gateway enforces it at the edge so a worker
+	// never sees an oversized sub-batch (default 256). MaxBodyBytes
+	// bounds request bodies (default 1MiB).
+	MaxBatch     int
+	MaxBodyBytes int64
+	// RequestTimeout is the per-request deadline, covering all retries
+	// and hedges (default 2s — deliberately above the workers' 1s so a
+	// failover retry still fits).
+	RequestTimeout time.Duration
+	// ScatterWorkers bounds concurrent sub-batch fan-out (default 16;
+	// the work is I/O-bound, so this exceeds GOMAXPROCS deliberately).
+	ScatterWorkers int
+	// MinReady is the alive-node count below which /readyz reports 503
+	// (default 1).
+	MinReady int
+	// DrainTimeout bounds graceful shutdown (default 5s).
+	DrainTimeout time.Duration
+}
+
+func (c GatewayConfig) withDefaults() GatewayConfig {
+	if c.NodeID == "" {
+		c.NodeID = "gateway"
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 256
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 2 * time.Second
+	}
+	if c.ScatterWorkers <= 0 {
+		c.ScatterWorkers = 16
+	}
+	if c.MinReady <= 0 {
+		c.MinReady = 1
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 5 * time.Second
+	}
+	return c
+}
+
+// gwMetrics are the gateway's own live counters (per-node detector
+// metrics live on the workers and are merged at scrape time).
+type gwMetrics struct {
+	start time.Time
+
+	single      atomic.Uint64
+	batch       atomic.Uint64
+	labels      atomic.Uint64
+	subBatches  atomic.Uint64
+	localErrors atomic.Uint64 // invalid domains answered at the edge
+
+	status2xx atomic.Uint64
+	status4xx atomic.Uint64
+	status429 atomic.Uint64
+	status5xx atomic.Uint64
+
+	latency metricsutil.Histogram
+}
+
+func (m *gwMetrics) observeStatus(code int) {
+	switch {
+	case code == 429:
+		m.status429.Add(1)
+	case code >= 500:
+		m.status5xx.Add(1)
+	case code >= 400:
+		m.status4xx.Add(1)
+	case code >= 200 && code < 300:
+		m.status2xx.Add(1)
+	}
+}
+
+// subBatch is one owner's slice of a batch request: the original
+// request indices plus the normalized ACE domains bound for that owner.
+// key is any member domain — all share an owner at grouping time, and
+// the router re-resolves candidates from it, so even if the ring moves
+// mid-flight the sub-batch lands somewhere correct (at worst a cache
+// miss on a non-owner).
+type subBatch struct {
+	key     string
+	indices []int
+	domains []string
+	// reqCtx carries the originating request's deadline into the engine
+	// Func (which has no ctx parameter of its own).
+	reqCtx context.Context
+}
+
+func (sb subBatch) ctx() context.Context {
+	if sb.reqCtx != nil {
+		return sb.reqCtx
+	}
+	return context.Background()
+}
+
+// subResult is one sub-batch's merged outcome.
+type subResult struct {
+	indices []int
+	results []api.DetectResponse
+}
+
+// shedError propagates a worker's 429 (with its Retry-After hint) as
+// the whole batch's outcome — partial batches would break the
+// index-aligned contract.
+type shedError struct{ retryAfter string }
+
+func (e *shedError) Error() string { return "worker shed sub-batch" }
+
+// Gateway fronts N idnserve workers: consistent-hash routing on single
+// detects, scatter/gather on batches, merged metrics, membership at
+// /clusterz, and worker registration at /v1/join.
+type Gateway struct {
+	cfg      GatewayConfig
+	mem      *Membership
+	router   *Router
+	scatter  *pipeline.Engine[subBatch, subResult, struct{}]
+	metrics  *gwMetrics
+	draining atomic.Bool
+}
+
+// NewGateway builds the gateway and its scatter engine.
+func NewGateway(cfg GatewayConfig) *Gateway {
+	cfg = cfg.withDefaults()
+	mem := NewMembership(cfg.Membership)
+	g := &Gateway{
+		cfg:     cfg,
+		mem:     mem,
+		router:  NewRouter(mem, cfg.Router),
+		metrics: &gwMetrics{start: time.Now()},
+	}
+	// Sub-batch fan-out reuses the streaming engine (PR 1): Batch=1
+	// because each item is itself a network round-trip, order-preserving
+	// fan-in for free, per-stage metrics surfaced at /metrics.
+	g.scatter = pipeline.New(
+		pipeline.Config{Stage: "gateway.scatter", Workers: cfg.ScatterWorkers, Batch: 1},
+		func() struct{} { return struct{}{} },
+		func(_ struct{}, sb subBatch) (subResult, bool, error) {
+			return g.forwardSubBatch(sb)
+		})
+	return g
+}
+
+// Membership exposes the registry (tests and Run's sweeper).
+func (g *Gateway) Membership() *Membership { return g.mem }
+
+// Router exposes the routing client (tests).
+func (g *Gateway) Router() *Router { return g.router }
+
+// Draining reports whether graceful shutdown has begun.
+func (g *Gateway) Draining() bool { return g.draining.Load() }
+
+// forwardSubBatch sends one owner's sub-batch through the router and
+// parses the worker's reply. Infrastructure failures and sheds surface
+// as engine errors, aborting the whole batch with one taxonomy-mapped
+// status.
+func (g *Gateway) forwardSubBatch(sb subBatch) (subResult, bool, error) {
+	g.metrics.subBatches.Add(1)
+	body, err := json.Marshal(api.BatchRequest{Domains: sb.domains})
+	if err != nil {
+		return subResult{}, false, err
+	}
+	// The engine's Func has no ctx parameter; the request deadline rides
+	// in on the subBatch (set by handleBatch before dispatch).
+	rep, err := g.router.Do(sb.ctx(), sb.key, http.MethodPost, "/v1/detect/batch", body)
+	if err != nil {
+		return subResult{}, false, err
+	}
+	switch rep.Status {
+	case http.StatusOK:
+	case http.StatusTooManyRequests:
+		return subResult{}, false, &shedError{retryAfter: rep.RetryAfter}
+	default:
+		return subResult{}, false, fmt.Errorf("node %s: unexpected status %d", rep.NodeID, rep.Status)
+	}
+	var br api.BatchResponse
+	if err := json.Unmarshal(rep.Body, &br); err != nil {
+		return subResult{}, false, fmt.Errorf("node %s: bad batch reply: %v", rep.NodeID, err)
+	}
+	if len(br.Results) != len(sb.domains) {
+		return subResult{}, false, fmt.Errorf("node %s: %d results for %d domains", rep.NodeID, len(br.Results), len(sb.domains))
+	}
+	return subResult{indices: sb.indices, results: br.Results}, true, nil
+}
+
+// Handler returns the gateway's HTTP mux:
+//
+//	POST /v1/detect        route to ring owner (hedged), pass through
+//	POST /v1/detect/batch  split by owner, scatter/gather, reassemble
+//	POST /v1/join          worker registration + heartbeat
+//	GET  /healthz          gateway liveness; 503 while draining
+//	GET  /readyz           cluster readiness (>= MinReady alive nodes)
+//	GET  /clusterz         membership + ring + breaker state
+//	GET  /metrics          gateway counters + merged per-node metrics
+func (g *Gateway) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/detect", g.instrument(g.handleDetect))
+	mux.HandleFunc("POST /v1/detect/batch", g.instrument(g.handleBatch))
+	mux.HandleFunc("POST /v1/join", g.handleJoin)
+	mux.HandleFunc("GET /healthz", g.handleHealthz)
+	mux.HandleFunc("GET /readyz", g.handleReadyz)
+	mux.HandleFunc("GET /clusterz", g.handleClusterz)
+	mux.HandleFunc("GET /metrics", g.handleMetrics)
+	return mux
+}
+
+// statusWriter captures the response code for the status counters.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (g *Gateway) instrument(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		ctx, cancel := context.WithTimeout(r.Context(), g.cfg.RequestTimeout)
+		defer cancel()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r.WithContext(ctx))
+		g.metrics.observeStatus(sw.code)
+		g.metrics.latency.Observe(time.Since(start))
+	}
+}
+
+// writeError maps the gateway error taxonomy to statuses: decode errors
+// 400/413, sheds 429 with the worker's Retry-After, exhausted rings and
+// deadlines 503.
+func (g *Gateway) writeError(w http.ResponseWriter, err error) {
+	var shed *shedError
+	switch {
+	case errors.Is(err, api.ErrBatchTooLarge), errors.Is(err, api.ErrTooLarge):
+		api.WriteJSON(w, http.StatusRequestEntityTooLarge, api.ErrorResponse{Error: err.Error()})
+	case errors.Is(err, api.ErrMalformed):
+		api.WriteJSON(w, http.StatusBadRequest, api.ErrorResponse{Error: err.Error()})
+	case errors.As(err, &shed):
+		if shed.retryAfter != "" {
+			w.Header().Set("Retry-After", shed.retryAfter)
+		} else {
+			w.Header().Set("Retry-After", "1")
+		}
+		api.WriteJSON(w, http.StatusTooManyRequests, api.ErrorResponse{Error: "cluster saturated"})
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		api.WriteJSON(w, http.StatusServiceUnavailable, api.ErrorResponse{Error: "deadline exceeded"})
+	case errors.Is(err, ErrNoNodes), errors.Is(err, ErrUnavailable):
+		api.WriteJSON(w, http.StatusServiceUnavailable, api.ErrorResponse{Error: err.Error()})
+	default:
+		api.WriteJSON(w, http.StatusBadGateway, api.ErrorResponse{Error: err.Error()})
+	}
+}
+
+func (g *Gateway) handleDetect(w http.ResponseWriter, r *http.Request) {
+	g.metrics.single.Add(1)
+	req, err := api.DecodeDetect(http.MaxBytesReader(w, r.Body, g.cfg.MaxBodyBytes))
+	if err != nil {
+		g.writeError(w, err)
+		return
+	}
+	n, err := core.Normalize(req.Domain)
+	if err != nil {
+		api.WriteJSON(w, http.StatusBadRequest, api.ErrorResponse{
+			Error: fmt.Sprintf("invalid domain %q: %v", req.Domain, err),
+		})
+		return
+	}
+	// Forward the ACE form: it is the partition key, the worker's cache
+	// key, and re-normalizes in the worker for free.
+	body, _ := json.Marshal(api.DetectRequest{Domain: n.ACE})
+	rep, err := g.router.DoHedged(r.Context(), n.ACE, http.MethodPost, "/v1/detect", body)
+	if err != nil {
+		g.writeError(w, err)
+		return
+	}
+	g.metrics.labels.Add(1)
+	if rep.RetryAfter != "" {
+		w.Header().Set("Retry-After", rep.RetryAfter)
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(rep.Status)
+	_, _ = w.Write(rep.Body)
+}
+
+func (g *Gateway) handleBatch(w http.ResponseWriter, r *http.Request) {
+	g.metrics.batch.Add(1)
+	req, err := api.DecodeBatch(http.MaxBytesReader(w, r.Body, g.cfg.MaxBodyBytes), g.cfg.MaxBatch)
+	if err != nil {
+		g.writeError(w, err)
+		return
+	}
+	results := make([]api.DetectResponse, len(req.Domains))
+	// Normalize at the edge: invalid entries are answered locally (the
+	// same per-item error shape a worker produces), valid ones grouped
+	// by ring owner.
+	groups := make(map[string]*subBatch)
+	order := make([]*subBatch, 0, 4)
+	for i, raw := range req.Domains {
+		n, err := core.Normalize(raw)
+		if err != nil {
+			g.metrics.localErrors.Add(1)
+			results[i] = api.DetectResponse{Input: raw, Error: err.Error()}
+			continue
+		}
+		owner, ok := g.router.Owner(n.ACE)
+		if !ok {
+			g.writeError(w, ErrNoNodes)
+			return
+		}
+		sb, seen := groups[owner.ID]
+		if !seen {
+			sb = &subBatch{key: n.ACE}
+			groups[owner.ID] = sb
+			order = append(order, sb)
+		}
+		sb.indices = append(sb.indices, i)
+		sb.domains = append(sb.domains, n.ACE)
+	}
+	if len(order) > 0 {
+		subs := make([]subBatch, len(order))
+		for i, sb := range order {
+			sb.reqCtx = r.Context()
+			subs[i] = *sb
+		}
+		err = g.scatter.Stream(r.Context(), pipeline.FromSlice(subs), func(res subResult) error {
+			for j, idx := range res.indices {
+				results[idx] = res.results[j]
+			}
+			return nil
+		})
+		if err != nil {
+			g.writeError(w, err)
+			return
+		}
+	}
+	resp := api.BatchResponse{Count: len(req.Domains), Results: results}
+	for i := range results {
+		if results[i].Flagged {
+			resp.Flagged++
+		}
+	}
+	g.metrics.labels.Add(uint64(len(req.Domains)))
+	api.WriteJSON(w, http.StatusOK, resp)
+}
+
+func (g *Gateway) handleJoin(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, 1<<16)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	var req JoinRequest
+	if err := dec.Decode(&req); err != nil || req.ID == "" || req.Addr == "" {
+		api.WriteJSON(w, http.StatusBadRequest, api.ErrorResponse{Error: "join requires id and addr"})
+		return
+	}
+	if _, _, err := net.SplitHostPort(req.Addr); err != nil {
+		api.WriteJSON(w, http.StatusBadRequest, api.ErrorResponse{Error: fmt.Sprintf("bad addr %q: %v", req.Addr, err)})
+		return
+	}
+	g.mem.Join(req.ID, req.Addr)
+	api.WriteJSON(w, http.StatusOK, JoinResponse{
+		View:        g.mem.Snapshot(),
+		HeartbeatMs: g.mem.HeartbeatInterval().Milliseconds(),
+	})
+}
+
+func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status, code := "ok", http.StatusOK
+	if g.Draining() {
+		status, code = "draining", http.StatusServiceUnavailable
+	}
+	api.WriteJSON(w, code, map[string]any{
+		"status": status, "node": g.cfg.NodeID, "version": version.Version, "role": "gateway",
+	})
+}
+
+func (g *Gateway) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	alive := g.mem.AliveCount()
+	ready := !g.Draining() && alive >= g.cfg.MinReady
+	status, code := "ready", http.StatusOK
+	if !ready {
+		status, code = "unready", http.StatusServiceUnavailable
+	}
+	api.WriteJSON(w, code, map[string]any{
+		"status": status, "node": g.cfg.NodeID, "version": version.Version, "role": "gateway",
+		"aliveNodes": alive, "minReady": g.cfg.MinReady, "epoch": g.mem.Epoch(),
+	})
+}
+
+func (g *Gateway) handleClusterz(w http.ResponseWriter, r *http.Request) {
+	view := g.mem.Snapshot()
+	api.WriteJSON(w, http.StatusOK, map[string]any{
+		"epoch":       view.Epoch,
+		"heartbeatMs": g.mem.HeartbeatInterval().Milliseconds(),
+		"nodes":       view.Nodes,
+		"ringSize":    g.router.Ring().Len(),
+		"router":      g.router.Stats(),
+	})
+}
+
+// nodeMetricsDigest is the slice of a worker's /metrics the gateway
+// aggregates (the raw snapshot rides alongside it unmodified).
+type nodeMetricsDigest struct {
+	Requests struct {
+		Labels  uint64 `json:"labels"`
+		Flagged uint64 `json:"flagged"`
+	} `json:"requests"`
+	Cache struct {
+		Hits      uint64 `json:"hits"`
+		Misses    uint64 `json:"misses"`
+		Coalesced uint64 `json:"coalesced"`
+		Size      int    `json:"size"`
+	} `json:"cache"`
+}
+
+func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := context.WithTimeout(r.Context(), time.Second)
+	defer cancel()
+	replies := g.router.Broadcast(ctx, "/metrics")
+
+	perNode := make(map[string]json.RawMessage, len(replies))
+	var agg struct {
+		Labels, Flagged, Hits, Misses, Coalesced uint64
+		CacheSize                                int
+		Reporting                                int
+	}
+	for id, rep := range replies {
+		if rep.Status != http.StatusOK || len(rep.Body) == 0 {
+			perNode[id] = json.RawMessage(`{"error":"unreachable"}`)
+			continue
+		}
+		perNode[id] = json.RawMessage(rep.Body)
+		var d nodeMetricsDigest
+		if json.Unmarshal(rep.Body, &d) == nil {
+			agg.Labels += d.Requests.Labels
+			agg.Flagged += d.Requests.Flagged
+			agg.Hits += d.Cache.Hits
+			agg.Misses += d.Cache.Misses
+			agg.Coalesced += d.Cache.Coalesced
+			agg.CacheSize += d.Cache.Size
+			agg.Reporting++
+		}
+	}
+	hitRate := 0.0
+	if total := agg.Hits + agg.Coalesced + agg.Misses; total > 0 {
+		hitRate = float64(agg.Hits+agg.Coalesced) / float64(total)
+	}
+	m := g.metrics
+	api.WriteJSON(w, http.StatusOK, map[string]any{
+		"node":          g.cfg.NodeID,
+		"version":       version.Version,
+		"uptimeSeconds": time.Since(m.start).Seconds(),
+		"gateway": map[string]any{
+			"single":      m.single.Load(),
+			"batch":       m.batch.Load(),
+			"labels":      m.labels.Load(),
+			"subBatches":  m.subBatches.Load(),
+			"localErrors": m.localErrors.Load(),
+			"status2xx":   m.status2xx.Load(),
+			"status4xx":   m.status4xx.Load(),
+			"status429":   m.status429.Load(),
+			"status5xx":   m.status5xx.Load(),
+		},
+		"latency": m.latency.Stats(),
+		"scatter": g.scatter.Metrics().JSON(),
+		"router":  g.router.Stats(),
+		"cluster": map[string]any{
+			"epoch":            g.mem.Epoch(),
+			"reportingNodes":   agg.Reporting,
+			"labels":           agg.Labels,
+			"flagged":          agg.Flagged,
+			"hits":             agg.Hits,
+			"misses":           agg.Misses,
+			"coalesced":        agg.Coalesced,
+			"cacheSizeTotal":   agg.CacheSize,
+			"cacheHitRate":     hitRate,
+			"partitionedCache": true,
+		},
+		"nodes": perNode,
+	})
+}
+
+// Run serves on addr until ctx is cancelled, then drains gracefully
+// exactly like the worker's serve.Server.Run: /healthz flips to 503,
+// in-flight requests get DrainTimeout, then the listener closes. The
+// membership sweeper runs for the lifetime of the listener.
+func (g *Gateway) Run(ctx context.Context, addr string, ready chan<- net.Addr) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	if ready != nil {
+		ready <- ln.Addr()
+	}
+	sweepCtx, stopSweep := context.WithCancel(context.Background())
+	defer stopSweep()
+	go g.mem.Run(sweepCtx)
+	httpSrv := &http.Server{
+		Handler:           g.Handler(),
+		ReadTimeout:       5 * time.Second,
+		ReadHeaderTimeout: 2 * time.Second,
+		WriteTimeout:      10 * time.Second,
+		IdleTimeout:       60 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	g.draining.Store(true)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), g.cfg.DrainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		httpSrv.Close()
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,213 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// testNodes builds n synthetic NodeInfos with stable IDs.
+func testNodes(n int) []NodeInfo {
+	nodes := make([]NodeInfo, n)
+	for i := range nodes {
+		nodes[i] = NodeInfo{ID: fmt.Sprintf("node-%02d", i), Addr: fmt.Sprintf("127.0.0.1:%d", 9000+i), State: StateAlive}
+	}
+	return nodes
+}
+
+// testKeys builds a synthetic ACE-shaped keyspace.
+func testKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("xn--label-%05d.com", i)
+	}
+	return keys
+}
+
+// TestRingOwnerDeterministicAcrossConstructionOrder is the "gateway
+// restart" property: ownership is a pure function of the node ID set, so
+// a ring rebuilt from a shuffled membership snapshot assigns every key
+// identically and the workers' partitioned caches stay warm.
+func TestRingOwnerDeterministicAcrossConstructionOrder(t *testing.T) {
+	nodes := testNodes(8)
+	keys := testKeys(5000)
+	base := NewRing(nodes)
+
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 5; trial++ {
+		shuffled := append([]NodeInfo(nil), nodes...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		r2 := NewRing(shuffled)
+		for _, k := range keys {
+			a, _ := base.Owner(k)
+			b, _ := r2.Owner(k)
+			if a.ID != b.ID {
+				t.Fatalf("trial %d: key %q owner %s != %s after shuffle", trial, k, a.ID, b.ID)
+			}
+		}
+	}
+}
+
+// TestRingRemovalRemapsOnlyRemovedNodesKeys is the minimal-disruption
+// property: removing one of N nodes must move ONLY the keys that node
+// owned — every other key keeps its owner — and the moved fraction must
+// be close to 1/N (within 2x, generous for 5k keys).
+func TestRingRemovalRemapsOnlyRemovedNodesKeys(t *testing.T) {
+	const n = 8
+	nodes := testNodes(n)
+	keys := testKeys(5000)
+	full := NewRing(nodes)
+
+	for victim := 0; victim < n; victim++ {
+		survivors := make([]NodeInfo, 0, n-1)
+		for i, nd := range nodes {
+			if i != victim {
+				survivors = append(survivors, nd)
+			}
+		}
+		reduced := NewRing(survivors)
+		moved := 0
+		for _, k := range keys {
+			before, _ := full.Owner(k)
+			after, _ := reduced.Owner(k)
+			if before.ID == nodes[victim].ID {
+				if after.ID == before.ID {
+					t.Fatalf("key %q still owned by removed node %s", k, before.ID)
+				}
+				moved++
+				continue
+			}
+			if after.ID != before.ID {
+				t.Fatalf("victim %s: key %q moved %s -> %s though its owner survived",
+					nodes[victim].ID, k, before.ID, after.ID)
+			}
+		}
+		frac := float64(moved) / float64(len(keys))
+		if frac > 2.0/float64(n) {
+			t.Fatalf("removing %s moved %.1f%% of keys, want <= %.1f%%",
+				nodes[victim].ID, 100*frac, 200.0/float64(n))
+		}
+	}
+}
+
+// TestRingAdditionStealsBoundedShare mirrors the removal property for
+// growth: a new node steals roughly 1/(N+1) of the keyspace and every
+// key it does not steal keeps its owner.
+func TestRingAdditionStealsBoundedShare(t *testing.T) {
+	const n = 8
+	nodes := testNodes(n)
+	keys := testKeys(5000)
+	before := NewRing(nodes)
+	grown := NewRing(append(append([]NodeInfo(nil), nodes...),
+		NodeInfo{ID: "node-99", Addr: "127.0.0.1:9099", State: StateAlive}))
+
+	stolen := 0
+	for _, k := range keys {
+		a, _ := before.Owner(k)
+		b, _ := grown.Owner(k)
+		if b.ID == "node-99" {
+			stolen++
+			continue
+		}
+		if a.ID != b.ID {
+			t.Fatalf("key %q moved %s -> %s though neither is the new node", k, a.ID, b.ID)
+		}
+	}
+	frac := float64(stolen) / float64(len(keys))
+	if frac > 2.0/float64(n+1) {
+		t.Fatalf("new node stole %.1f%% of keys, want <= %.1f%%", 100*frac, 200.0/float64(n+1))
+	}
+	if stolen == 0 {
+		t.Fatal("new node stole no keys at all")
+	}
+}
+
+// TestRingBalance sanity-checks the load spread: with splitmix64-mixed
+// scores no node should own more than ~2.5x its fair share.
+func TestRingBalance(t *testing.T) {
+	const n = 8
+	r := NewRing(testNodes(n))
+	keys := testKeys(8000)
+	counts := make(map[string]int)
+	for _, k := range keys {
+		o, ok := r.Owner(k)
+		if !ok {
+			t.Fatal("empty ring?")
+		}
+		counts[o.ID]++
+	}
+	fair := len(keys) / n
+	for id, c := range counts {
+		if c > fair*5/2 || c < fair*2/5 {
+			t.Fatalf("node %s owns %d keys, fair share %d — badly unbalanced: %v", id, c, fair, counts)
+		}
+	}
+}
+
+// TestRingCandidates pins the candidate-list contract: element 0 is the
+// owner, entries are distinct, k bounds the length, and the failover
+// order itself is deterministic.
+func TestRingCandidates(t *testing.T) {
+	r := NewRing(testNodes(8))
+	for _, k := range testKeys(100) {
+		owner, _ := r.Owner(k)
+		cands := r.Candidates(k, 3)
+		if len(cands) != 3 {
+			t.Fatalf("key %q: got %d candidates, want 3", k, len(cands))
+		}
+		if cands[0].ID != owner.ID {
+			t.Fatalf("key %q: candidate[0]=%s, Owner=%s", k, cands[0].ID, owner.ID)
+		}
+		seen := map[string]bool{}
+		for _, c := range cands {
+			if seen[c.ID] {
+				t.Fatalf("key %q: duplicate candidate %s", k, c.ID)
+			}
+			seen[c.ID] = true
+		}
+		again := r.Candidates(k, 3)
+		for i := range cands {
+			if cands[i].ID != again[i].ID {
+				t.Fatalf("key %q: candidate order not deterministic", k)
+			}
+		}
+		all := r.Candidates(k, 0)
+		if len(all) != 8 {
+			t.Fatalf("key %q: k<=0 should select all 8 nodes, got %d", k, len(all))
+		}
+	}
+}
+
+// TestRingEmptyAndSingle covers the degenerate rings.
+func TestRingEmptyAndSingle(t *testing.T) {
+	empty := NewRing(nil)
+	if _, ok := empty.Owner("x.com"); ok {
+		t.Fatal("empty ring returned an owner")
+	}
+	if c := empty.Candidates("x.com", 3); c != nil {
+		t.Fatalf("empty ring returned candidates: %v", c)
+	}
+	single := NewRing(testNodes(1))
+	o, ok := single.Owner("x.com")
+	if !ok || o.ID != "node-00" {
+		t.Fatalf("single ring: got %v/%v", o, ok)
+	}
+}
+
+func BenchmarkRingOwner(b *testing.B) {
+	r := NewRing(testNodes(8))
+	keys := testKeys(1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Owner(keys[i%len(keys)])
+	}
+}
+
+func BenchmarkRingCandidates(b *testing.B) {
+	r := NewRing(testNodes(8))
+	keys := testKeys(1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Candidates(keys[i%len(keys)], 3)
+	}
+}

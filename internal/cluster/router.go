@@ -1,0 +1,422 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrNoNodes reports an empty (or fully dead) ring.
+var ErrNoNodes = errors.New("cluster: no routable nodes")
+
+// ErrUnavailable reports that every attempted candidate failed.
+var ErrUnavailable = errors.New("cluster: all candidates failed")
+
+// Doer is the router's HTTP client surface (satisfied by *http.Client);
+// tests substitute failure-injecting fakes.
+type Doer interface {
+	Do(*http.Request) (*http.Response, error)
+}
+
+// RouterConfig parameterizes the routing client.
+type RouterConfig struct {
+	// MaxAttempts bounds how many distinct ring candidates one request
+	// may try (default 3). Candidates whose breaker is open are skipped
+	// without consuming an attempt.
+	MaxAttempts int
+	// BaseBackoff is the first retry's backoff (default 5ms), doubling
+	// per attempt up to MaxBackoff (default 100ms), with ±50% jitter so
+	// a burst of failovers does not re-synchronize on the fallback node.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// Hedge, when > 0, fires a second request to the next ring candidate
+	// if the owner has not answered within this budget — the classic
+	// tail-latency hedge. 0 disables hedging.
+	Hedge time.Duration
+	// Breaker parameterizes the per-node circuit breakers.
+	Breaker BreakerConfig
+	// Client overrides the HTTP client (default: pooled transport with
+	// sane limits).
+	Client Doer
+	// MaxReplyBytes bounds how much of a node's reply body is read
+	// (default 8MiB).
+	MaxReplyBytes int64
+	// Seed seeds the jitter PRNG (default 1).
+	Seed uint64
+}
+
+func (c RouterConfig) withDefaults() RouterConfig {
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+	}
+	if c.BaseBackoff <= 0 {
+		c.BaseBackoff = 5 * time.Millisecond
+	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = 100 * time.Millisecond
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{
+			Transport: &http.Transport{
+				MaxIdleConns:        256,
+				MaxIdleConnsPerHost: 64,
+				IdleConnTimeout:     60 * time.Second,
+			},
+		}
+	}
+	if c.MaxReplyBytes <= 0 {
+		c.MaxReplyBytes = 8 << 20
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Reply is one node's answer as seen by the router. Any HTTP status
+// below 500 counts as an answer (a 429 is the worker telling the client
+// to back off — it must pass through untouched, Retry-After and all);
+// transport errors and 5xx are failures that advance to the next
+// candidate.
+type Reply struct {
+	NodeID     string
+	Status     int
+	Body       []byte
+	RetryAfter string // Retry-After header, when present
+	Attempts   int
+	Hedged     bool // answered by a hedge, not the primary
+}
+
+// ringCache is the epoch-tagged compiled ring.
+type ringCache struct {
+	epoch uint64
+	ring  *Ring
+}
+
+// RouterStats is the router's /clusterz contribution.
+type RouterStats struct {
+	Retries   uint64            `json:"retries"`
+	Hedges    uint64            `json:"hedges"`
+	HedgeWins uint64            `json:"hedgeWins"`
+	Breakers  map[string]string `json:"breakers"`
+}
+
+// Router routes keys to nodes: rendezvous ring over the membership's
+// routable set (rebuilt only when the epoch moves), per-node circuit
+// breakers, bounded retries with jittered backoff down the candidate
+// list, and optional hedged requests. It feeds evidence back into the
+// membership (ObserveSuccess/ObserveFailure) so routing outcomes — not
+// just heartbeats — drive health state.
+type Router struct {
+	cfg RouterConfig
+	mem *Membership
+
+	ring atomic.Pointer[ringCache]
+
+	mu       sync.Mutex
+	breakers map[string]*Breaker
+
+	rng       atomic.Uint64
+	retries   atomic.Uint64
+	hedges    atomic.Uint64
+	hedgeWins atomic.Uint64
+}
+
+// NewRouter builds a router over mem.
+func NewRouter(mem *Membership, cfg RouterConfig) *Router {
+	r := &Router{cfg: cfg.withDefaults(), mem: mem, breakers: make(map[string]*Breaker)}
+	r.rng.Store(r.cfg.Seed)
+	return r
+}
+
+// Ring returns the compiled ring for the current membership epoch,
+// rebuilding at most once per epoch change (steady state is one atomic
+// load plus one membership epoch read).
+func (r *Router) Ring() *Ring {
+	epoch, nodes := r.mem.Routable()
+	if c := r.ring.Load(); c != nil && c.epoch == epoch {
+		return c.ring
+	}
+	c := &ringCache{epoch: epoch, ring: NewRing(nodes)}
+	r.ring.Store(c)
+	return c.ring
+}
+
+// Owner resolves key's current owner.
+func (r *Router) Owner(key string) (NodeInfo, bool) { return r.Ring().Owner(key) }
+
+// breaker returns (creating on first use) the breaker for node id.
+func (r *Router) breaker(id string) *Breaker {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	b, ok := r.breakers[id]
+	if !ok {
+		b = NewBreaker(r.cfg.Breaker)
+		r.breakers[id] = b
+	}
+	return b
+}
+
+// Stats snapshots the router counters and breaker states.
+func (r *Router) Stats() RouterStats {
+	st := RouterStats{
+		Retries:   r.retries.Load(),
+		Hedges:    r.hedges.Load(),
+		HedgeWins: r.hedgeWins.Load(),
+		Breakers:  make(map[string]string),
+	}
+	r.mu.Lock()
+	for id, b := range r.breakers {
+		st.Breakers[id] = b.State()
+	}
+	r.mu.Unlock()
+	return st
+}
+
+// jitter returns d scaled into [d/2, d) using a lock-free xorshift
+// stream — deterministic per seed, contention-free under load.
+func (r *Router) jitter(d time.Duration) time.Duration {
+	for {
+		old := r.rng.Load()
+		x := old
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		if r.rng.CompareAndSwap(old, x) {
+			half := int64(d) / 2
+			return time.Duration(half + int64(x%uint64(half+1)))
+		}
+	}
+}
+
+// try performs one HTTP exchange with node nd.
+func (r *Router) try(ctx context.Context, nd NodeInfo, method, path string, body []byte) (Reply, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, "http://"+nd.Addr+path, rd)
+	if err != nil {
+		return Reply{}, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := r.cfg.Client.Do(req)
+	if err != nil {
+		return Reply{}, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(io.LimitReader(resp.Body, r.cfg.MaxReplyBytes))
+	if err != nil {
+		return Reply{}, err
+	}
+	if resp.StatusCode >= 500 {
+		return Reply{}, fmt.Errorf("node %s: status %d", nd.ID, resp.StatusCode)
+	}
+	return Reply{
+		NodeID:     nd.ID,
+		Status:     resp.StatusCode,
+		Body:       b,
+		RetryAfter: resp.Header.Get("Retry-After"),
+	}, nil
+}
+
+// attempt runs try with breaker + membership bookkeeping.
+func (r *Router) attempt(ctx context.Context, nd NodeInfo, method, path string, body []byte) (Reply, error) {
+	rep, err := r.try(ctx, nd, method, path, body)
+	br := r.breaker(nd.ID)
+	if err != nil {
+		// Do not punish a node for the caller's own cancellation: a
+		// context deadline is not evidence the node is down.
+		if ctx.Err() == nil {
+			br.Failure()
+			r.mem.ObserveFailure(nd.ID)
+		}
+		return Reply{}, err
+	}
+	br.Success()
+	r.mem.ObserveSuccess(nd.ID)
+	return rep, nil
+}
+
+// Do routes one request for key: walk the candidate list in rendezvous
+// order, skipping open breakers, retrying transport/5xx failures on the
+// next candidate with jittered exponential backoff, at most MaxAttempts
+// actual attempts. Any sub-500 HTTP answer — including 429 — returns
+// immediately.
+func (r *Router) Do(ctx context.Context, key, method, path string, body []byte) (Reply, error) {
+	cands := r.Ring().Candidates(key, 0)
+	if len(cands) == 0 {
+		return Reply{}, ErrNoNodes
+	}
+	return r.walk(ctx, cands, 0, method, path, body)
+}
+
+// walk attempts candidates[skipped:] sequentially. attemptsUsed seeds
+// the attempt counter (used by the hedged path's fallback).
+func (r *Router) walk(ctx context.Context, cands []NodeInfo, attemptsUsed int, method, path string, body []byte) (Reply, error) {
+	attempts := attemptsUsed
+	var lastErr error
+	for _, nd := range cands {
+		if attempts >= r.cfg.MaxAttempts {
+			break
+		}
+		if !r.breaker(nd.ID).Allow() {
+			continue // fail fast past an open breaker; no attempt consumed
+		}
+		if attempts > attemptsUsed {
+			// Backoff before a retry, scaled by how many attempts this
+			// call has already burned, jittered, capped, and cut short
+			// by the caller's deadline.
+			d := r.cfg.BaseBackoff << uint(attempts-attemptsUsed-1)
+			if d > r.cfg.MaxBackoff {
+				d = r.cfg.MaxBackoff
+			}
+			t := time.NewTimer(r.jitter(d))
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				return Reply{}, ctx.Err()
+			}
+			r.retries.Add(1)
+		}
+		attempts++
+		rep, err := r.attempt(ctx, nd, method, path, body)
+		if err == nil {
+			rep.Attempts = attempts
+			return rep, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			return Reply{}, ctx.Err()
+		}
+	}
+	if lastErr == nil {
+		lastErr = ErrNoNodes // every candidate's breaker was open
+	}
+	return Reply{}, fmt.Errorf("%w after %d attempts: %v", ErrUnavailable, attempts-attemptsUsed, lastErr)
+}
+
+// hedgeResult carries one racer's outcome.
+type hedgeResult struct {
+	rep    Reply
+	err    error
+	hedged bool
+}
+
+// DoHedged is Do with tail-latency hedging: the owner gets a head
+// start of cfg.Hedge; if it has not answered by then, the second
+// candidate is raced against it and the first answer wins (the loser is
+// cancelled). Falls back to plain Do when hedging is disabled or the
+// ring has a single node. Hedges are issued to at most one extra node —
+// bounded extra load, bounded tail.
+func (r *Router) DoHedged(ctx context.Context, key, method, path string, body []byte) (Reply, error) {
+	cands := r.Ring().Candidates(key, 0)
+	if len(cands) == 0 {
+		return Reply{}, ErrNoNodes
+	}
+	if r.cfg.Hedge <= 0 || len(cands) < 2 {
+		return r.walk(ctx, cands, 0, method, path, body)
+	}
+	primary, secondary := cands[0], cands[1]
+	if !r.breaker(primary.ID).Allow() {
+		// Owner is circuit-broken: no point hedging around it, just
+		// walk the remainder of the list.
+		return r.walk(ctx, cands[1:], 0, method, path, body)
+	}
+
+	raceCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	resc := make(chan hedgeResult, 2) // buffered: losers never block
+	launch := func(nd NodeInfo, hedged bool) {
+		go func() {
+			rep, err := r.attempt(raceCtx, nd, method, path, body)
+			resc <- hedgeResult{rep: rep, err: err, hedged: hedged}
+		}()
+	}
+	launch(primary, false)
+	hedgeTimer := time.NewTimer(r.cfg.Hedge)
+	defer hedgeTimer.Stop()
+
+	outstanding := 1
+	hedgeFired := false
+	var lastErr error
+	for outstanding > 0 {
+		select {
+		case res := <-resc:
+			outstanding--
+			if res.err == nil {
+				cancel() // release the loser immediately
+				res.rep.Hedged = res.hedged
+				res.rep.Attempts = 1
+				if res.hedged {
+					r.hedgeWins.Add(1)
+				}
+				return res.rep, nil
+			}
+			lastErr = res.err
+			if ctx.Err() != nil {
+				return Reply{}, ctx.Err()
+			}
+			if !hedgeFired && outstanding == 0 {
+				// Primary failed before the hedge timer: promote the
+				// hedge to an immediate retry.
+				if r.breaker(secondary.ID).Allow() {
+					hedgeFired = true
+					r.hedges.Add(1)
+					launch(secondary, true)
+					outstanding++
+				}
+			}
+		case <-hedgeTimer.C:
+			if !hedgeFired && r.breaker(secondary.ID).Allow() {
+				hedgeFired = true
+				r.hedges.Add(1)
+				launch(secondary, true)
+				outstanding++
+			}
+		case <-ctx.Done():
+			return Reply{}, ctx.Err()
+		}
+	}
+	// Both racers failed; walk the rest of the candidate list with the
+	// two burned attempts accounted for.
+	if len(cands) > 2 {
+		return r.walk(ctx, cands[2:], 2, method, path, body)
+	}
+	return Reply{}, fmt.Errorf("%w after 2 attempts: %v", ErrUnavailable, lastErr)
+}
+
+// Broadcast fans one GET out to every routable node concurrently and
+// returns the per-node replies (nil body entries for nodes that
+// failed). Used for merged /metrics.
+func (r *Router) Broadcast(ctx context.Context, path string) map[string]Reply {
+	_, nodes := r.mem.Routable()
+	out := make(map[string]Reply, len(nodes))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, nd := range nodes {
+		wg.Add(1)
+		go func(nd NodeInfo) {
+			defer wg.Done()
+			rep, err := r.try(ctx, nd, http.MethodGet, path, nil)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				out[nd.ID] = Reply{NodeID: nd.ID}
+				return
+			}
+			out[nd.ID] = rep
+		}(nd)
+	}
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,327 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeDoer routes requests to per-host handlers, counting calls.
+type fakeDoer struct {
+	mu       sync.Mutex
+	handlers map[string]func(*http.Request) (*http.Response, error)
+	calls    map[string]int
+}
+
+func newFakeDoer() *fakeDoer {
+	return &fakeDoer{
+		handlers: make(map[string]func(*http.Request) (*http.Response, error)),
+		calls:    make(map[string]int),
+	}
+}
+
+func (f *fakeDoer) set(host string, h func(*http.Request) (*http.Response, error)) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.handlers[host] = h
+}
+
+func (f *fakeDoer) callCount(host string) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.calls[host]
+}
+
+func (f *fakeDoer) Do(req *http.Request) (*http.Response, error) {
+	f.mu.Lock()
+	f.calls[req.URL.Host]++
+	h := f.handlers[req.URL.Host]
+	f.mu.Unlock()
+	if h == nil {
+		return nil, fmt.Errorf("fake: no handler for %s", req.URL.Host)
+	}
+	return h(req)
+}
+
+func okResponse(body string) func(*http.Request) (*http.Response, error) {
+	return func(*http.Request) (*http.Response, error) {
+		return &http.Response{
+			StatusCode: 200,
+			Header:     http.Header{},
+			Body:       io.NopCloser(strings.NewReader(body)),
+		}, nil
+	}
+}
+
+func refuse() func(*http.Request) (*http.Response, error) {
+	return func(*http.Request) (*http.Response, error) {
+		return nil, errors.New("connection refused")
+	}
+}
+
+// routerFixture wires a membership of n nodes to a router over fake.
+func routerFixture(t *testing.T, n int, cfg RouterConfig, fake *fakeDoer) (*Membership, *Router, []NodeInfo) {
+	t.Helper()
+	m := NewMembership(MembershipConfig{HeartbeatInterval: time.Second, DeadFailStreak: 3})
+	nodes := testNodes(n)
+	for _, nd := range nodes {
+		m.Join(nd.ID, nd.Addr)
+		fake.set(nd.Addr, okResponse(`{"node":"`+nd.ID+`"}`))
+	}
+	cfg.Client = fake
+	cfg.BaseBackoff = time.Millisecond
+	cfg.MaxBackoff = 2 * time.Millisecond
+	return m, NewRouter(m, cfg), nodes
+}
+
+func TestRouterRoutesToOwner(t *testing.T) {
+	fake := newFakeDoer()
+	_, r, _ := routerFixture(t, 3, RouterConfig{}, fake)
+	key := "xn--pple-43d.com"
+	owner, ok := r.Owner(key)
+	if !ok {
+		t.Fatal("no owner")
+	}
+	rep, err := r.Do(context.Background(), key, http.MethodPost, "/v1/detect", []byte(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.NodeID != owner.ID || rep.Attempts != 1 {
+		t.Fatalf("rep = %+v, want owner %s in 1 attempt", rep, owner.ID)
+	}
+	if fake.callCount(owner.Addr) != 1 {
+		t.Fatalf("owner got %d calls, want 1", fake.callCount(owner.Addr))
+	}
+}
+
+func TestRouterRetriesToNextCandidate(t *testing.T) {
+	fake := newFakeDoer()
+	m, r, _ := routerFixture(t, 3, RouterConfig{MaxAttempts: 3}, fake)
+	key := "xn--pple-43d.com"
+	cands := r.Ring().Candidates(key, 0)
+	fake.set(cands[0].Addr, refuse())
+
+	rep, err := r.Do(context.Background(), key, http.MethodPost, "/v1/detect", []byte(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.NodeID != cands[1].ID {
+		t.Fatalf("answered by %s, want second candidate %s", rep.NodeID, cands[1].ID)
+	}
+	if rep.Attempts != 2 {
+		t.Fatalf("Attempts = %d, want 2", rep.Attempts)
+	}
+	// The failure fed back into membership: owner is now suspect.
+	if s := stateOf(t, m, cands[0].ID); s != StateSuspect {
+		t.Fatalf("owner state = %s, want suspect after proxy failure", s)
+	}
+	if st := r.Stats(); st.Retries != 1 {
+		t.Fatalf("Retries = %d, want 1", st.Retries)
+	}
+}
+
+func TestRouter5xxIsFailure429PassesThrough(t *testing.T) {
+	fake := newFakeDoer()
+	_, r, _ := routerFixture(t, 2, RouterConfig{}, fake)
+	key := "example.com"
+	cands := r.Ring().Candidates(key, 0)
+
+	// 500 advances to the next candidate.
+	fake.set(cands[0].Addr, func(*http.Request) (*http.Response, error) {
+		return &http.Response{StatusCode: 500, Header: http.Header{}, Body: io.NopCloser(strings.NewReader("boom"))}, nil
+	})
+	rep, err := r.Do(context.Background(), key, http.MethodPost, "/v1/detect", nil)
+	if err != nil || rep.NodeID != cands[1].ID {
+		t.Fatalf("5xx not retried: rep=%+v err=%v", rep, err)
+	}
+
+	// 429 is an answer: passes through with Retry-After, no retry.
+	fake.set(cands[0].Addr, func(*http.Request) (*http.Response, error) {
+		h := http.Header{}
+		h.Set("Retry-After", "1")
+		return &http.Response{StatusCode: 429, Header: h, Body: io.NopCloser(strings.NewReader(`{"error":"saturated"}`))}, nil
+	})
+	before := fake.callCount(cands[1].Addr)
+	rep, err = r.Do(context.Background(), key, http.MethodPost, "/v1/detect", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Status != 429 || rep.RetryAfter != "1" || rep.NodeID != cands[0].ID {
+		t.Fatalf("429 passthrough: rep=%+v", rep)
+	}
+	if fake.callCount(cands[1].Addr) != before {
+		t.Fatal("429 leaked a retry to the next candidate")
+	}
+}
+
+func TestRouterBreakerSkipsDeadNodeWithoutAttempt(t *testing.T) {
+	fake := newFakeDoer()
+	_, r, _ := routerFixture(t, 3, RouterConfig{
+		MaxAttempts: 2,
+		Breaker:     BreakerConfig{FailThreshold: 2, Cooldown: time.Hour},
+	}, fake)
+	key := "example.com"
+	cands := r.Ring().Candidates(key, 0)
+	fake.set(cands[0].Addr, refuse())
+
+	// Two requests trip the owner's breaker (threshold 2)...
+	for i := 0; i < 2; i++ {
+		if _, err := r.Do(context.Background(), key, http.MethodPost, "/v1/detect", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ownerCalls := fake.callCount(cands[0].Addr)
+	if ownerCalls != 2 {
+		t.Fatalf("owner calls = %d, want 2", ownerCalls)
+	}
+	// ...after which the owner is skipped entirely: fail-fast, no dial.
+	for i := 0; i < 5; i++ {
+		rep, err := r.Do(context.Background(), key, http.MethodPost, "/v1/detect", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.NodeID != cands[1].ID || rep.Attempts != 1 {
+			t.Fatalf("rep = %+v, want %s in 1 attempt (breaker skip)", rep, cands[1].ID)
+		}
+	}
+	if got := fake.callCount(cands[0].Addr); got != ownerCalls {
+		t.Fatalf("open breaker leaked %d calls to the dead node", got-ownerCalls)
+	}
+	if st := r.Stats(); st.Breakers[cands[0].ID] != "open" {
+		t.Fatalf("breaker state = %q, want open", st.Breakers[cands[0].ID])
+	}
+}
+
+func TestRouterAllCandidatesDown(t *testing.T) {
+	fake := newFakeDoer()
+	_, r, nodes := routerFixture(t, 3, RouterConfig{MaxAttempts: 3}, fake)
+	for _, nd := range nodes {
+		fake.set(nd.Addr, refuse())
+	}
+	_, err := r.Do(context.Background(), "example.com", http.MethodPost, "/v1/detect", nil)
+	if !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("err = %v, want ErrUnavailable", err)
+	}
+}
+
+func TestRouterEmptyRing(t *testing.T) {
+	m := NewMembership(MembershipConfig{})
+	r := NewRouter(m, RouterConfig{Client: newFakeDoer()})
+	if _, err := r.Do(context.Background(), "x.com", http.MethodGet, "/", nil); !errors.Is(err, ErrNoNodes) {
+		t.Fatalf("err = %v, want ErrNoNodes", err)
+	}
+}
+
+func TestRouterRingCacheFollowsEpoch(t *testing.T) {
+	fake := newFakeDoer()
+	m, r, _ := routerFixture(t, 2, RouterConfig{}, fake)
+	if got := r.Ring().Len(); got != 2 {
+		t.Fatalf("ring len = %d, want 2", got)
+	}
+	// Same epoch: same compiled ring instance (cache hit).
+	if r.Ring() != r.Ring() {
+		t.Fatal("ring cache rebuilt without an epoch change")
+	}
+	m.Join("node-09", "127.0.0.1:9009")
+	if got := r.Ring().Len(); got != 3 {
+		t.Fatalf("ring len after join = %d, want 3", got)
+	}
+	// Fail streak kills node-09: ring shrinks again.
+	for i := 0; i < 3; i++ {
+		m.ObserveFailure("node-09")
+	}
+	if got := r.Ring().Len(); got != 2 {
+		t.Fatalf("ring len after death = %d, want 2", got)
+	}
+}
+
+func TestRouterHedgeWinsOnSlowPrimary(t *testing.T) {
+	fake := newFakeDoer()
+	_, r, _ := routerFixture(t, 3, RouterConfig{Hedge: 5 * time.Millisecond}, fake)
+	key := "example.com"
+	cands := r.Ring().Candidates(key, 0)
+
+	// Primary answers, but far slower than the hedge delay.
+	fake.set(cands[0].Addr, func(req *http.Request) (*http.Response, error) {
+		select {
+		case <-time.After(500 * time.Millisecond):
+			return okResponse("slow")(req)
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+	})
+	t0 := time.Now()
+	rep, err := r.DoHedged(context.Background(), key, http.MethodPost, "/v1/detect", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Hedged || rep.NodeID != cands[1].ID {
+		t.Fatalf("rep = %+v, want hedged answer from %s", rep, cands[1].ID)
+	}
+	if el := time.Since(t0); el > 250*time.Millisecond {
+		t.Fatalf("hedged request took %s — did not cut the tail", el)
+	}
+	st := r.Stats()
+	if st.Hedges != 1 || st.HedgeWins != 1 {
+		t.Fatalf("stats = %+v, want 1 hedge / 1 win", st)
+	}
+}
+
+func TestRouterHedgePrimaryFastPath(t *testing.T) {
+	fake := newFakeDoer()
+	_, r, _ := routerFixture(t, 3, RouterConfig{Hedge: 50 * time.Millisecond}, fake)
+	key := "example.com"
+	cands := r.Ring().Candidates(key, 0)
+	rep, err := r.DoHedged(context.Background(), key, http.MethodPost, "/v1/detect", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Hedged || rep.NodeID != cands[0].ID {
+		t.Fatalf("rep = %+v, want un-hedged owner answer", rep)
+	}
+	if fake.callCount(cands[1].Addr) != 0 {
+		t.Fatal("hedge fired although the primary answered fast")
+	}
+	if st := r.Stats(); st.Hedges != 0 {
+		t.Fatalf("Hedges = %d, want 0", st.Hedges)
+	}
+}
+
+func TestRouterHedgePromotedOnPrimaryFailure(t *testing.T) {
+	fake := newFakeDoer()
+	_, r, _ := routerFixture(t, 3, RouterConfig{Hedge: time.Hour}, fake)
+	key := "example.com"
+	cands := r.Ring().Candidates(key, 0)
+	fake.set(cands[0].Addr, refuse())
+	rep, err := r.DoHedged(context.Background(), key, http.MethodPost, "/v1/detect", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Primary failed long before the (1h) hedge timer — the hedge is
+	// promoted to an immediate retry instead of waiting.
+	if !rep.Hedged || rep.NodeID != cands[1].ID {
+		t.Fatalf("rep = %+v, want promoted hedge from %s", rep, cands[1].ID)
+	}
+}
+
+func TestRouterBroadcast(t *testing.T) {
+	fake := newFakeDoer()
+	_, r, nodes := routerFixture(t, 3, RouterConfig{}, fake)
+	fake.set(nodes[2].Addr, refuse())
+	out := r.Broadcast(context.Background(), "/metrics")
+	if len(out) != 3 {
+		t.Fatalf("broadcast returned %d replies, want 3", len(out))
+	}
+	if out[nodes[0].ID].Status != 200 || out[nodes[1].ID].Status != 200 {
+		t.Fatalf("healthy nodes: %+v", out)
+	}
+	if out[nodes[2].ID].Status != 0 {
+		t.Fatalf("failed node should have zero Status: %+v", out[nodes[2].ID])
+	}
+}

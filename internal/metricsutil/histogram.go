@@ -1,0 +1,98 @@
+// Package metricsutil holds the lock-free latency histogram shared by
+// the single-node serving layer (internal/serve) and the cluster gateway
+// (internal/cluster): both are long-running HTTP services that must be
+// scrapeable during full load, so every observation path is atomics —
+// no locks, no allocation.
+package metricsutil
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the number of log2 latency buckets. Bucket i holds
+// observations with ceil(log2(µs)) == i, so bucket 0 is ≤1µs and bucket
+// 29 caps out at ~9 minutes — far beyond any configured deadline.
+const histBuckets = 30
+
+// Histogram is a lock-free log2 latency histogram over microseconds.
+// The zero value is ready to use.
+type Histogram struct {
+	buckets [histBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sumNs   atomic.Int64
+	maxNs   atomic.Int64
+}
+
+// Observe records one latency sample.
+func (h *Histogram) Observe(d time.Duration) {
+	h.count.Add(1)
+	h.sumNs.Add(int64(d))
+	for {
+		old := h.maxNs.Load()
+		if int64(d) <= old || h.maxNs.CompareAndSwap(old, int64(d)) {
+			break
+		}
+	}
+	us := d.Microseconds()
+	b := 0
+	for v := us; v > 1; v >>= 1 {
+		b++
+	}
+	if us > 1 && us&(us-1) != 0 {
+		b++ // ceil
+	}
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	h.buckets[b].Add(1)
+}
+
+// quantile returns an upper bound (the bucket ceiling, in µs) for the
+// q-th latency quantile.
+func quantile(counts *[histBuckets]uint64, total uint64, q float64) float64 {
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var cum uint64
+	for i := 0; i < histBuckets; i++ {
+		cum += counts[i]
+		if cum > rank {
+			return float64(uint64(1) << uint(i)) // bucket ceiling in µs
+		}
+	}
+	return float64(uint64(1) << (histBuckets - 1))
+}
+
+// LatencyStats is the histogram's wire form (microseconds).
+type LatencyStats struct {
+	Count      uint64  `json:"count"`
+	MeanMicros float64 `json:"meanMicros"`
+	P50Micros  float64 `json:"p50Micros"`
+	P90Micros  float64 `json:"p90Micros"`
+	P99Micros  float64 `json:"p99Micros"`
+	MaxMicros  float64 `json:"maxMicros"`
+}
+
+// Stats snapshots the histogram; safe to call concurrently with Observe.
+func (h *Histogram) Stats() LatencyStats {
+	var counts [histBuckets]uint64
+	var total uint64
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	st := LatencyStats{Count: total}
+	if total > 0 {
+		st.MeanMicros = float64(h.sumNs.Load()) / float64(total) / 1e3
+		st.P50Micros = quantile(&counts, total, 0.50)
+		st.P90Micros = quantile(&counts, total, 0.90)
+		st.P99Micros = quantile(&counts, total, 0.99)
+		st.MaxMicros = float64(h.maxNs.Load()) / 1e3
+	}
+	return st
+}

@@ -1,0 +1,56 @@
+package metricsutil
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramStats(t *testing.T) {
+	var h Histogram
+	if st := h.Stats(); st.Count != 0 || st.P99Micros != 0 {
+		t.Fatalf("zero-value stats: %+v", st)
+	}
+	// 90 fast samples, 10 slow ones: p50 must bound 100µs, p99 must
+	// bound 10ms, and every quantile is an upper bound (bucket ceiling).
+	for i := 0; i < 90; i++ {
+		h.Observe(100 * time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(10 * time.Millisecond)
+	}
+	st := h.Stats()
+	if st.Count != 100 {
+		t.Fatalf("count = %d, want 100", st.Count)
+	}
+	if st.P50Micros < 100 || st.P50Micros >= 10_000 {
+		t.Fatalf("p50 = %v, want in [100, 10000)", st.P50Micros)
+	}
+	if st.P99Micros < 10_000 {
+		t.Fatalf("p99 = %v, want >= 10000", st.P99Micros)
+	}
+	if st.MaxMicros != 10_000 {
+		t.Fatalf("max = %v, want 10000", st.MaxMicros)
+	}
+	if st.MeanMicros <= 100 || st.MeanMicros >= 10_000 {
+		t.Fatalf("mean = %v, want between sample values", st.MeanMicros)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(time.Duration(i) * time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if st := h.Stats(); st.Count != 8000 {
+		t.Fatalf("count = %d, want 8000", st.Count)
+	}
+}

@@ -23,6 +23,13 @@
 // mid-corpus, Stream/Collect return ctx.Err() after draining — the
 // feeder stops, workers finish or skip their current item, and every
 // goroutine exits before the call returns. No goroutines leak.
+//
+// Beyond corpus scans, the serving tiers reuse the same engine: the
+// online service fans batch requests out across detector clones
+// (internal/serve), and the cluster gateway scatter/gathers per-owner
+// sub-batches with Batch:1 — each item one network round-trip — relying
+// on the ordering guarantee to reassemble responses at their original
+// request indices (internal/cluster).
 package pipeline
 
 import (

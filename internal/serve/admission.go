@@ -110,6 +110,18 @@ func (a *Admission) InFlight() int { return len(a.slots) }
 // Queued reports the number of requests waiting for a slot.
 func (a *Admission) Queued() int { return int(a.queued.Load()) }
 
+// Saturated reports that the controller has no headroom: every
+// execution slot is busy AND the wait queue is full (for a queueless
+// controller, busy slots alone). /readyz uses it to pull a node out of
+// rotation *before* it starts shedding — a saturated node should stop
+// receiving new connections, not 429 them.
+func (a *Admission) Saturated() bool {
+	if len(a.slots) < cap(a.slots) {
+		return false
+	}
+	return a.queued.Load() >= a.maxQueue
+}
+
 // RetryAfterSeconds is the Retry-After hint sent with 429 responses:
 // one maxWait rounded up to a whole second (HTTP Retry-After has
 // one-second granularity).

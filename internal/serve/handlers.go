@@ -2,7 +2,6 @@ package serve
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -10,117 +9,57 @@ import (
 	"strconv"
 	"time"
 
+	"idnlab/internal/api"
 	"idnlab/internal/core"
 	"idnlab/internal/pipeline"
+	"idnlab/internal/version"
 )
 
-// API wire types. The response embeds the core.Verdict fields plus the
-// serving-layer annotations (flagged, cached); error entries carry the
-// offending input back so batch responses stay aligned with the request.
+// The wire format lives in internal/api so the cluster gateway speaks
+// byte-identical request/response bodies (same strict decoder, same
+// error taxonomy). The aliases below keep the serving layer's internals
+// and tests reading naturally.
 
-// detectRequest is the POST /v1/detect body.
-type detectRequest struct {
-	Domain string `json:"domain"`
-}
+type (
+	detectRequest  = api.DetectRequest
+	batchRequest   = api.BatchRequest
+	detectResponse = api.DetectResponse
+	batchResponse  = api.BatchResponse
+	errorResponse  = api.ErrorResponse
+)
 
-// batchRequest is the POST /v1/detect/batch body.
-type batchRequest struct {
-	Domains []string `json:"domains"`
-}
-
-// detectResponse is one classified domain. For invalid inputs only
-// Input and Error are set.
-type detectResponse struct {
-	core.Verdict
-	Flagged bool   `json:"flagged"`
-	Cached  bool   `json:"cached"`
-	Input   string `json:"input,omitempty"`
-	Error   string `json:"error,omitempty"`
-}
-
-// batchResponse is the POST /v1/detect/batch reply; Results aligns
-// index-for-index with the request's Domains.
-type batchResponse struct {
-	Count   int              `json:"count"`
-	Flagged int              `json:"flagged"`
-	Results []detectResponse `json:"results"`
-}
-
-// errorResponse is the JSON body of every non-2xx reply.
-type errorResponse struct {
-	Error string `json:"error"`
-}
-
-// Decode errors, distinguished so handlers map them to status codes.
 var (
-	errMalformed = errors.New("malformed request body")
-	errTooLarge  = errors.New("request body too large")
+	errMalformed     = api.ErrMalformed
+	errTooLarge      = api.ErrTooLarge
+	errBatchTooLarge = api.ErrBatchTooLarge
 )
 
-// decodeJSON strictly decodes one JSON object from r into dst: unknown
-// fields, trailing garbage and oversized bodies (surfaced by the
-// handler's http.MaxBytesReader) are all rejected — a detection API
-// should never guess at malformed input.
-func decodeJSON(r io.Reader, dst any) error {
-	dec := json.NewDecoder(r)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(dst); err != nil {
-		var maxErr *http.MaxBytesError
-		if errors.As(err, &maxErr) {
-			return errTooLarge
-		}
-		return fmt.Errorf("%w: %v", errMalformed, err)
-	}
-	if dec.More() {
-		return fmt.Errorf("%w: trailing data", errMalformed)
-	}
-	return nil
-}
-
-// decodeDetectRequest parses and validates a single-detect body. It is
-// the surface the fuzz harness drives: any byte sequence must produce
-// either a request or an error, never a panic.
+// decodeDetectRequest and decodeBatchRequest are the fuzz-harness entry
+// points (FuzzDecodeDetect / FuzzDecodeBatch drive them with arbitrary
+// bytes); they delegate to the shared strict decoder.
 func decodeDetectRequest(r io.Reader) (detectRequest, error) {
-	var req detectRequest
-	if err := decodeJSON(r, &req); err != nil {
-		return detectRequest{}, err
-	}
-	if req.Domain == "" {
-		return detectRequest{}, fmt.Errorf("%w: missing \"domain\"", errMalformed)
-	}
-	return req, nil
+	return api.DecodeDetect(r)
 }
-
-// decodeBatchRequest parses and validates a batch body against the
-// configured size cap. Exceeding the cap is errBatchTooLarge (413), not
-// a 400: the request is well-formed, just oversized.
-var errBatchTooLarge = errors.New("batch exceeds configured maximum")
 
 func decodeBatchRequest(r io.Reader, maxBatch int) (batchRequest, error) {
-	var req batchRequest
-	if err := decodeJSON(r, &req); err != nil {
-		return batchRequest{}, err
-	}
-	if len(req.Domains) == 0 {
-		return batchRequest{}, fmt.Errorf("%w: missing \"domains\"", errMalformed)
-	}
-	if len(req.Domains) > maxBatch {
-		return batchRequest{}, fmt.Errorf("%w: %d > %d", errBatchTooLarge, len(req.Domains), maxBatch)
-	}
-	return req, nil
+	return api.DecodeBatch(r, maxBatch)
 }
 
 // Handler returns the service's HTTP mux:
 //
 //	POST /v1/detect        {"domain":"..."}            → detectResponse
 //	POST /v1/detect/batch  {"domains":["...",...]}     → batchResponse
-//	GET  /healthz                                      → ok | draining
+//	GET  /healthz                                      → liveness: ok | draining
+//	GET  /readyz                                       → readiness: warm + admission headroom
+//	GET  /clusterz                                     → peer-mode membership view
 //	GET  /metrics                                      → MetricsSnapshot
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/detect", s.instrument(s.handleDetect))
 	mux.HandleFunc("POST /v1/detect/batch", s.instrument(s.handleBatch))
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("GET /clusterz", s.handleClusterz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
 }
@@ -137,24 +76,28 @@ func (w *statusWriter) WriteHeader(code int) {
 }
 
 // instrument wraps a handler with the latency histogram, status
-// counters, and the per-request deadline.
+// counters, the per-request deadline, and — when a rate cap is
+// configured — the per-node token bucket. The cap sheds before any
+// decoding work: a capped node's 429 must be its cheapest response.
 func (s *Server) instrument(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
-		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
-		defer cancel()
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
-		h(sw, r.WithContext(ctx))
+		if s.limiter != nil && !s.limiter.Allow() {
+			s.metrics.rateLimited.Add(1)
+			sw.Header().Set("Retry-After", "1")
+			api.WriteJSON(sw, http.StatusTooManyRequests, errorResponse{Error: "rate cap exceeded"})
+		} else {
+			ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+			h(sw, r.WithContext(ctx))
+			cancel()
+		}
 		s.metrics.observeStatus(sw.code)
-		s.metrics.latency.observe(time.Since(start))
+		s.metrics.latency.Observe(time.Since(start))
 	}
 }
 
-func writeJSON(w http.ResponseWriter, code int, v any) {
-	w.Header().Set("Content-Type", "application/json; charset=utf-8")
-	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(v)
-}
+func writeJSON(w http.ResponseWriter, code int, v any) { api.WriteJSON(w, code, v) }
 
 // writeError maps the error taxonomy to status codes: decode errors are
 // 400/413, admission saturation is 429 + Retry-After, deadline blowouts
@@ -231,12 +174,52 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// handleHealthz is pure liveness: "is this process up and not
+// draining". Load balancers use it to stop routing during shutdown.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status, code := "ok", http.StatusOK
 	if s.Draining() {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		status, code = "draining", http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]any{
+		"status": status, "node": s.cfg.NodeID, "version": version.Version,
+	})
+}
+
+// handleReadyz is readiness, distinct from liveness: a live node is not
+// ready until detector warm-up has completed (first-request latency
+// would otherwise pay the raster-cache build) and admission has
+// headroom (a saturated node should stop receiving new connections
+// before it starts shedding them).
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	warm := s.Warmed()
+	saturated := s.adm.Saturated()
+	ready := !s.Draining() && warm && !saturated
+	status, code := "ready", http.StatusOK
+	if !ready {
+		status, code = "unready", http.StatusServiceUnavailable
+	}
+	body := map[string]any{
+		"status": status, "node": s.cfg.NodeID, "version": version.Version,
+		"warm": warm, "admissionSaturated": saturated, "draining": s.Draining(),
+	}
+	if p := s.peer.Load(); p != nil {
+		st := p.Status()
+		body["cluster"] = map[string]any{"joined": st.Joined, "epoch": st.View.Epoch}
+	}
+	writeJSON(w, code, body)
+}
+
+// handleClusterz reports the worker's view of cluster membership (peer
+// mode) or its standalone status.
+func (s *Server) handleClusterz(w http.ResponseWriter, r *http.Request) {
+	if p := s.peer.Load(); p != nil {
+		writeJSON(w, http.StatusOK, p.Status())
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	writeJSON(w, http.StatusOK, map[string]any{
+		"mode": "standalone", "node": s.cfg.NodeID, "version": version.Version,
+	})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

@@ -4,98 +4,21 @@ import (
 	"sync/atomic"
 	"time"
 
+	"idnlab/internal/metricsutil"
 	"idnlab/internal/pipeline"
 )
 
 // Live serving metrics, extending the batch engine's pipeline.Metrics
 // with what an online service additionally needs: request counters per
-// route and status class, an end-to-end latency histogram, cache hit
-// rate and admission pressure. Everything is atomics — /metrics is safe
-// (and cheap) to scrape during full load.
+// route and status class, an end-to-end latency histogram (the shared
+// metricsutil.Histogram — the cluster gateway keeps an identical one, so
+// cluster-wide latency views compose), cache hit rate and admission
+// pressure. Everything is atomics — /metrics is safe (and cheap) to
+// scrape during full load.
 
-// histBuckets is the number of log2 latency buckets. Bucket i holds
-// observations with ceil(log2(µs)) == i, so bucket 0 is ≤1µs and bucket
-// 29 caps out at ~9 minutes — far beyond any configured deadline.
-const histBuckets = 30
-
-// histogram is a lock-free log2 latency histogram over microseconds.
-type histogram struct {
-	buckets [histBuckets]atomic.Uint64
-	count   atomic.Uint64
-	sumNs   atomic.Int64
-	maxNs   atomic.Int64
-}
-
-func (h *histogram) observe(d time.Duration) {
-	h.count.Add(1)
-	h.sumNs.Add(int64(d))
-	for {
-		old := h.maxNs.Load()
-		if int64(d) <= old || h.maxNs.CompareAndSwap(old, int64(d)) {
-			break
-		}
-	}
-	us := d.Microseconds()
-	b := 0
-	for v := us; v > 1; v >>= 1 {
-		b++
-	}
-	if us > 1 && us&(us-1) != 0 {
-		b++ // ceil
-	}
-	if b >= histBuckets {
-		b = histBuckets - 1
-	}
-	h.buckets[b].Add(1)
-}
-
-// quantile returns an upper bound (the bucket ceiling, in µs) for the
-// q-th latency quantile.
-func (h *histogram) quantile(counts *[histBuckets]uint64, total uint64, q float64) float64 {
-	if total == 0 {
-		return 0
-	}
-	rank := uint64(q * float64(total))
-	if rank >= total {
-		rank = total - 1
-	}
-	var cum uint64
-	for i := 0; i < histBuckets; i++ {
-		cum += counts[i]
-		if cum > rank {
-			return float64(uint64(1) << uint(i)) // bucket ceiling in µs
-		}
-	}
-	return float64(uint64(1) << (histBuckets - 1))
-}
-
-// LatencyStats is the histogram's wire form (microseconds).
-type LatencyStats struct {
-	Count      uint64  `json:"count"`
-	MeanMicros float64 `json:"meanMicros"`
-	P50Micros  float64 `json:"p50Micros"`
-	P90Micros  float64 `json:"p90Micros"`
-	P99Micros  float64 `json:"p99Micros"`
-	MaxMicros  float64 `json:"maxMicros"`
-}
-
-func (h *histogram) stats() LatencyStats {
-	var counts [histBuckets]uint64
-	var total uint64
-	for i := range h.buckets {
-		counts[i] = h.buckets[i].Load()
-		total += counts[i]
-	}
-	st := LatencyStats{Count: total}
-	if total > 0 {
-		st.MeanMicros = float64(h.sumNs.Load()) / float64(total) / 1e3
-		st.P50Micros = h.quantile(&counts, total, 0.50)
-		st.P90Micros = h.quantile(&counts, total, 0.90)
-		st.P99Micros = h.quantile(&counts, total, 0.99)
-		st.MaxMicros = float64(h.maxNs.Load()) / 1e3
-	}
-	return st
-}
+// LatencyStats aliases the shared histogram's wire form so existing
+// consumers of the serve API keep compiling.
+type LatencyStats = metricsutil.LatencyStats
 
 // serverMetrics aggregates the server's live counters.
 type serverMetrics struct {
@@ -106,12 +29,13 @@ type serverMetrics struct {
 	labels  atomic.Uint64 // labels classified (batch items + singles)
 	flagged atomic.Uint64 // verdicts with at least one detector match
 
-	status2xx atomic.Uint64
-	status4xx atomic.Uint64
-	status429 atomic.Uint64
-	status5xx atomic.Uint64
+	status2xx   atomic.Uint64
+	status4xx   atomic.Uint64
+	status429   atomic.Uint64
+	status5xx   atomic.Uint64
+	rateLimited atomic.Uint64 // 429s issued by the rate cap (subset of status429)
 
-	latency histogram
+	latency metricsutil.Histogram
 }
 
 func newServerMetrics() *serverMetrics {
@@ -133,18 +57,21 @@ func (m *serverMetrics) observeStatus(code int) {
 
 // RequestStats is the request-counter wire form.
 type RequestStats struct {
-	Single    uint64 `json:"single"`
-	Batch     uint64 `json:"batch"`
-	Labels    uint64 `json:"labels"`
-	Flagged   uint64 `json:"flagged"`
-	Status2xx uint64 `json:"status2xx"`
-	Status4xx uint64 `json:"status4xx"`
-	Status429 uint64 `json:"status429"`
-	Status5xx uint64 `json:"status5xx"`
+	Single      uint64 `json:"single"`
+	Batch       uint64 `json:"batch"`
+	Labels      uint64 `json:"labels"`
+	Flagged     uint64 `json:"flagged"`
+	Status2xx   uint64 `json:"status2xx"`
+	Status4xx   uint64 `json:"status4xx"`
+	Status429   uint64 `json:"status429"`
+	Status5xx   uint64 `json:"status5xx"`
+	RateLimited uint64 `json:"rateLimited"`
 }
 
 // MetricsSnapshot is the full /metrics payload.
 type MetricsSnapshot struct {
+	Node          string               `json:"node"`
+	Version       string               `json:"version"`
 	UptimeSeconds float64              `json:"uptimeSeconds"`
 	Requests      RequestStats         `json:"requests"`
 	Latency       LatencyStats         `json:"latency"`

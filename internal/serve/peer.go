@@ -1,0 +1,150 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"idnlab/internal/cluster"
+)
+
+// Peer is a worker's lightweight cluster membership client: it
+// registers the worker with a gateway via POST /v1/join and keeps
+// re-joining on the gateway-advertised heartbeat cadence. Each join
+// response carries an epoch-stamped membership view, which the peer
+// stores and the worker surfaces at /clusterz — so any worker can
+// answer "what does the cluster look like from here" without the
+// gateway being asked.
+//
+// The gateway drives the cadence (JoinResponse.HeartbeatMs): retuning
+// one gateway flag retunes every worker's heartbeat on its next beat.
+type Peer struct {
+	gatewayURL string // http://host:port, no trailing slash
+	nodeID     string
+	advertise  string // host:port the gateway should route to
+	client     *http.Client
+
+	mu       sync.Mutex
+	view     cluster.ClusterView
+	joined   bool
+	interval time.Duration
+	lastBeat time.Time
+	lastErr  error
+}
+
+// NewPeer builds a membership client. gateway accepts "host:port" or a
+// full http URL; advertise is this worker's reachable host:port.
+func NewPeer(gateway, nodeID, advertise string) *Peer {
+	if !strings.Contains(gateway, "://") {
+		gateway = "http://" + gateway
+	}
+	return &Peer{
+		gatewayURL: strings.TrimRight(gateway, "/"),
+		nodeID:     nodeID,
+		advertise:  advertise,
+		client:     &http.Client{Timeout: 2 * time.Second},
+		interval:   time.Second, // until the gateway advertises its own
+	}
+}
+
+// NodeID reports the identity the peer registers under.
+func (p *Peer) NodeID() string { return p.nodeID }
+
+// join performs one registration/heartbeat exchange.
+func (p *Peer) join(ctx context.Context) error {
+	body, err := json.Marshal(cluster.JoinRequest{ID: p.nodeID, Addr: p.advertise})
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, p.gatewayURL+"/v1/join", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := p.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("join: gateway status %d", resp.StatusCode)
+	}
+	var jr cluster.JoinResponse
+	if err := json.NewDecoder(resp.Body).Decode(&jr); err != nil {
+		return fmt.Errorf("join: bad response: %v", err)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	// Epoch-stamped pull: never replace a newer view with an older one
+	// (join responses can race when the interval is short).
+	if !p.joined || jr.View.Epoch >= p.view.Epoch {
+		p.view = jr.View
+	}
+	p.joined = true
+	p.lastBeat = time.Now()
+	p.lastErr = nil
+	if jr.HeartbeatMs > 0 {
+		p.interval = time.Duration(jr.HeartbeatMs) * time.Millisecond
+	}
+	return nil
+}
+
+// Run joins immediately and then heartbeats until ctx is cancelled.
+// Failed beats retry at the same cadence (the gateway's sweeper will
+// demote us if we stay silent; there is nothing smarter to do than keep
+// trying).
+func (p *Peer) Run(ctx context.Context) {
+	for {
+		if err := p.join(ctx); err != nil && ctx.Err() == nil {
+			p.mu.Lock()
+			p.lastErr = err
+			p.mu.Unlock()
+		}
+		p.mu.Lock()
+		d := p.interval
+		p.mu.Unlock()
+		t := time.NewTimer(d)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return
+		}
+	}
+}
+
+// PeerStatus is the worker-side /clusterz body.
+type PeerStatus struct {
+	Mode          string              `json:"mode"`
+	Gateway       string              `json:"gateway"`
+	NodeID        string              `json:"nodeId"`
+	Joined        bool                `json:"joined"`
+	LastBeatAgoMs int64               `json:"lastBeatAgoMs"`
+	LastError     string              `json:"lastError,omitempty"`
+	View          cluster.ClusterView `json:"view"`
+}
+
+// Status snapshots the peer's state.
+func (p *Peer) Status() PeerStatus {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := PeerStatus{
+		Mode:    "peer",
+		Gateway: p.gatewayURL,
+		NodeID:  p.nodeID,
+		Joined:  p.joined,
+		View:    p.view,
+	}
+	if !p.lastBeat.IsZero() {
+		st.LastBeatAgoMs = time.Since(p.lastBeat).Milliseconds()
+	}
+	if p.lastErr != nil {
+		st.LastError = p.lastErr.Error()
+	}
+	return st
+}

@@ -1,0 +1,117 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func getBody(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	return resp.StatusCode, readAll(t, resp)
+}
+
+// TestReadyzLifecycle: ready after warm-up, unready while draining —
+// and distinct from /healthz, which only flips on drain.
+func TestReadyzLifecycle(t *testing.T) {
+	s, ts := testServer(t, Config{NodeID: "test-node", TopK: 100})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.WaitWarm(ctx); err != nil {
+		t.Fatalf("warm-up never completed: %v", err)
+	}
+	code, body := getBody(t, ts.URL+"/readyz")
+	if code != 200 || !strings.Contains(body, `"ready"`) {
+		t.Fatalf("warm readyz: %d %q", code, body)
+	}
+	// Identity rides in every health body.
+	for _, want := range []string{`"node":"test-node"`, `"version"`, `"warm":true`} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("readyz body missing %s: %q", want, body)
+		}
+	}
+
+	s.draining.Store(true)
+	if code, body := getBody(t, ts.URL+"/readyz"); code != 503 || !strings.Contains(body, `"unready"`) {
+		t.Fatalf("draining readyz: %d %q", code, body)
+	}
+}
+
+// TestReadyzSaturation: a node whose admission controller has zero
+// headroom reports unready — it should be pulled out of rotation before
+// it starts shedding.
+func TestReadyzSaturation(t *testing.T) {
+	s, ts := testServer(t, Config{TopK: 100, MaxInflight: 1, MaxQueue: -1})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.WaitWarm(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Occupy the only execution slot.
+	release, err := s.adm.Admit(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code, body := getBody(t, ts.URL+"/readyz"); code != 503 || !strings.Contains(body, `"admissionSaturated":true`) {
+		t.Fatalf("saturated readyz: %d %q", code, body)
+	}
+	release()
+	if code, _ := getBody(t, ts.URL+"/readyz"); code != 200 {
+		t.Fatalf("released readyz: %d, want 200", code)
+	}
+}
+
+// TestClusterzStandalone: a worker with no peer attached reports
+// standalone mode rather than erroring.
+func TestClusterzStandalone(t *testing.T) {
+	_, ts := testServer(t, Config{TopK: 100})
+	if code, body := getBody(t, ts.URL+"/clusterz"); code != 200 || !strings.Contains(body, `"standalone"`) {
+		t.Fatalf("clusterz: %d %q", code, body)
+	}
+}
+
+// TestRateCap: the MaxRPS token bucket sheds the cheapest possible 429
+// before any decode work, with a Retry-After hint, and the shed is
+// visible in /metrics as rateLimited.
+func TestRateCap(t *testing.T) {
+	s, ts := testServer(t, Config{TopK: 100, MaxRPS: 1})
+	// Burst capacity is one second of rate = 1 token: the first request
+	// passes, the immediate second one must be capped.
+	resp1, _ := postJSON(t, ts.URL+"/v1/detect", `{"domain":"example.com"}`)
+	if resp1.StatusCode != 200 {
+		t.Fatalf("first request: %d, want 200", resp1.StatusCode)
+	}
+	resp2, body := postJSON(t, ts.URL+"/v1/detect", `{"domain":"example.org"}`)
+	if resp2.StatusCode != 429 {
+		t.Fatalf("capped request: %d %q, want 429", resp2.StatusCode, body)
+	}
+	if resp2.Header.Get("Retry-After") == "" {
+		t.Fatal("capped 429 missing Retry-After")
+	}
+	if snap := s.Snapshot(); snap.Requests.RateLimited == 0 {
+		t.Fatalf("rateLimited counter not incremented: %+v", snap.Requests)
+	}
+	// Health endpoints are never rate-capped.
+	if code, _ := getBody(t, ts.URL+"/healthz"); code != 200 {
+		t.Fatal("healthz got rate-capped")
+	}
+}
+
+// TestHealthBodiesCarryIdentity pins node + version presence across the
+// three health surfaces (the cluster smoke script greps for these).
+func TestHealthBodiesCarryIdentity(t *testing.T) {
+	_, ts := testServer(t, Config{NodeID: "idn-w1", TopK: 100})
+	for _, path := range []string{"/healthz", "/metrics"} {
+		_, body := getBody(t, ts.URL+path)
+		if !strings.Contains(body, `"idn-w1"`) || !strings.Contains(body, `"version"`) {
+			t.Fatalf("%s missing identity: %q", path, body)
+		}
+	}
+}

@@ -26,19 +26,25 @@ package serve
 
 import (
 	"context"
+	"fmt"
 	"net"
 	"net/http"
+	"os"
 	"runtime"
 	"sync/atomic"
 	"time"
 
 	"idnlab/internal/core"
 	"idnlab/internal/pipeline"
+	"idnlab/internal/version"
 )
 
 // Config parameterizes a Server. The zero value selects sane defaults
 // for every field (see withDefaults).
 type Config struct {
+	// NodeID names this node in health bodies and cluster membership
+	// (default: "<hostname>-<pid>").
+	NodeID string
 	// TopK is the brand-list depth defended (default 1000).
 	TopK int
 	// Threshold overrides the homograph SSIM threshold; 0 selects
@@ -68,9 +74,18 @@ type Config struct {
 	MaxBodyBytes int64
 	// DrainTimeout bounds graceful shutdown (default 5s).
 	DrainTimeout time.Duration
+	// MaxRPS caps the node's admitted request rate with a token bucket
+	// (0 = unlimited). Unlike admission control — which bounds detector
+	// *work* and lets warm cache hits through for free — the rate cap
+	// models fixed per-node capacity, which is what makes horizontal
+	// scaling measurable: N capped workers sustain ~N× one worker.
+	MaxRPS int
 }
 
 func (c Config) withDefaults() Config {
+	if c.NodeID == "" {
+		c.NodeID = defaultNodeID()
+	}
 	if c.TopK <= 0 {
 		c.TopK = 1000
 	}
@@ -110,6 +125,19 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// defaultNodeID derives a stable-enough identity for a node that was
+// not given one: hostname plus pid survives restarts of the same
+// deployment slot closely enough for human debugging, while explicit
+// -node flags are what production clusters should use (ring placement
+// follows the ID).
+func defaultNodeID() string {
+	host, err := os.Hostname()
+	if err != nil || host == "" {
+		host = "node"
+	}
+	return fmt.Sprintf("%s-%d", host, os.Getpid())
+}
+
 // Server hosts the detectors online. Build with NewServer; it is safe
 // for concurrent use by any number of HTTP handler goroutines.
 type Server struct {
@@ -120,6 +148,9 @@ type Server struct {
 	proto    *core.Classifier
 	pool     chan *core.Classifier
 	batchEng *pipeline.Engine[string, batchEntry, *core.Classifier]
+	limiter  *rateLimiter
+	peer     atomic.Pointer[Peer]
+	warmed   chan struct{} // closed when detector warm-up completes
 	draining atomic.Bool
 }
 
@@ -146,6 +177,8 @@ func NewServer(cfg Config) *Server {
 		metrics: newServerMetrics(),
 		proto:   core.NewClassifier(dcfg),
 		pool:    make(chan *core.Classifier, cfg.MaxInflight),
+		limiter: newRateLimiter(cfg.MaxRPS),
+		warmed:  make(chan struct{}),
 	}
 	// Batch fan-out reuses the streaming engine: per-worker clones of
 	// the shared prototype, order-preserving fan-in so responses align
@@ -156,8 +189,50 @@ func NewServer(cfg Config) *Server {
 		func(c *core.Classifier, raw string) (batchEntry, bool, error) {
 			return batchEntry{resp: s.classifyRaw(c, raw), ok: true}, true, nil
 		})
+	go s.warmup()
 	return s
 }
+
+// warmup primes the process-wide caches the first request would
+// otherwise pay for — the prerendered brand rasters behind the
+// homograph detector and the confusable table — by classifying one
+// known homograph and one semantic canary. /readyz reports unready
+// until it completes, so a load balancer never routes to a node whose
+// first verdicts would be hundred-of-ms outliers.
+func (s *Server) warmup() {
+	defer close(s.warmed)
+	c := s.proto.Clone()
+	for _, canary := range []string{"xn--pple-43d.com", "apple邮箱.com", "example.com"} {
+		if n, err := core.Normalize(canary); err == nil {
+			_ = c.Verdict(n)
+		}
+	}
+	s.giveBack(c)
+}
+
+// Warmed reports whether detector warm-up has completed.
+func (s *Server) Warmed() bool {
+	select {
+	case <-s.warmed:
+		return true
+	default:
+		return false
+	}
+}
+
+// WaitWarm blocks until warm-up completes or ctx is cancelled.
+func (s *Server) WaitWarm(ctx context.Context) error {
+	select {
+	case <-s.warmed:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// AttachPeer wires a cluster membership client into the server's
+// /readyz and /clusterz views. Safe to call while serving.
+func (s *Server) AttachPeer(p *Peer) { s.peer.Store(p) }
 
 // borrow takes a classifier clone from the pool, cloning a fresh one
 // when the pool is momentarily empty (bounded by admission, so the pool
@@ -228,18 +303,21 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 func (s *Server) Snapshot() MetricsSnapshot {
 	m := s.metrics
 	return MetricsSnapshot{
+		Node:          s.cfg.NodeID,
+		Version:       version.Version,
 		UptimeSeconds: time.Since(m.start).Seconds(),
 		Requests: RequestStats{
-			Single:    m.single.Load(),
-			Batch:     m.batch.Load(),
-			Labels:    m.labels.Load(),
-			Flagged:   m.flagged.Load(),
-			Status2xx: m.status2xx.Load(),
-			Status4xx: m.status4xx.Load(),
-			Status429: m.status429.Load(),
-			Status5xx: m.status5xx.Load(),
+			Single:      m.single.Load(),
+			Batch:       m.batch.Load(),
+			Labels:      m.labels.Load(),
+			Flagged:     m.flagged.Load(),
+			Status2xx:   m.status2xx.Load(),
+			Status4xx:   m.status4xx.Load(),
+			Status429:   m.status429.Load(),
+			Status5xx:   m.status5xx.Load(),
+			RateLimited: m.rateLimited.Load(),
 		},
-		Latency:     m.latency.stats(),
+		Latency:     m.latency.Stats(),
 		Cache:       s.cache.Stats(),
 		Admission:   s.adm.Stats(),
 		BatchEngine: s.batchEng.Metrics().JSON(),

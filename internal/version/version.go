@@ -1,0 +1,17 @@
+// Package version is the single source of the build identity reported
+// by every long-running binary (idnserve, idngateway): health and
+// readiness bodies include it so operators can tell which build a node
+// runs straight from the load balancer's probe logs, and the gateway's
+// merged metrics can surface version skew across a cluster.
+package version
+
+import "runtime"
+
+// Version is the repository's semantic version, bumped per PR wave.
+const Version = "0.5.0"
+
+// Runtime reports the Go runtime the binary was built with.
+func Runtime() string { return runtime.Version() }
+
+// Full is the identity string used in health bodies and logs.
+func Full() string { return "idnlab/" + Version + " (" + runtime.Version() + ")" }
