@@ -13,8 +13,13 @@ SSIM_BENCH_PATTERN = ^(BenchmarkScore|BenchmarkWithoutPrefilter|BenchmarkSSIMKer
 # even 2x exercises the whole report path; allocs/op stays exact).
 REPORT_BENCHTIME ?= 1s
 REPORT_BENCH_PATTERN = ^(BenchmarkStudyRun|BenchmarkLangIDClassify|BenchmarkLangIDClassifyDomain)$$
+# Benchtime for bench-index: 1s for publishable numbers; the CI smoke
+# uses the default. Gates are absolute (0 allocs/op and >= 100k
+# lookups/s), so they hold at any benchtime.
+INDEX_BENCHTIME ?= 1s
+INDEX_BENCH_PATTERN = ^(BenchmarkIndexLookup|BenchmarkDetectNormalized10k)$$
 
-.PHONY: all build vet test race bench bench-ssim bench-report report fuzz fuzz-smoke serve-smoke serve-bench cluster-smoke cluster-bench clean
+.PHONY: all build vet test race bench bench-ssim bench-report bench-index report fuzz fuzz-smoke serve-smoke serve-bench cluster-smoke cluster-bench index-smoke clean
 
 all: build vet test
 
@@ -57,6 +62,18 @@ bench-report:
 	      -out BENCH_report.json \
 	      -require-zero-allocs BenchmarkLangIDClassify/ascii,BenchmarkLangIDClassify/latin-diacritics,BenchmarkLangIDClassify/nonlatin,BenchmarkLangIDClassify/cyrillic,BenchmarkLangIDClassifyDomain
 
+# Candidate-index benchmarks (PR 6): steady-state Candidates lookup and
+# the end-to-end indexed DetectNormalized at 10k brands into
+# BENCH_index.json (old = recorded brute-sweep baseline). Exits non-zero
+# if the lookup allocates or drops below 100k lookups/s.
+bench-index:
+	$(GO) test -run='^$$' -bench '$(INDEX_BENCH_PATTERN)' -benchmem -benchtime=$(INDEX_BENCHTIME) ./internal/candidx/ ./internal/core/ \
+	  | $(GO) run ./cmd/benchjson \
+	      -baseline BENCH_baseline_index.txt \
+	      -out BENCH_index.json \
+	      -require-zero-allocs BenchmarkIndexLookup,BenchmarkDetectNormalized10k \
+	      -min-throughput BenchmarkIndexLookup=100000
+
 # The full study: every table and figure at 1/100 of the paper's corpus.
 report:
 	$(GO) run ./cmd/idnreport -seed 2018 -scale 100
@@ -70,6 +87,8 @@ fuzz:
 	$(GO) test -fuzz=FuzzDecode -fuzztime=$(FUZZTIME) ./internal/dnssim/
 	$(GO) test -fuzz=FuzzDecodeDetect -fuzztime=$(FUZZTIME) ./internal/serve/
 	$(GO) test -fuzz=FuzzDecodeBatch -fuzztime=$(FUZZTIME) ./internal/serve/
+	$(GO) test -fuzz=FuzzIndexRoundTrip -fuzztime=$(FUZZTIME) ./internal/candidx/
+	$(GO) test -fuzz=FuzzIndexLookup -fuzztime=$(FUZZTIME) ./internal/candidx/
 
 # End-to-end smoke of the online detection service: boot idnserve, fire
 # the mixed single/batch/bad-input set via idnload -smoke, assert clean
@@ -96,6 +115,12 @@ CLUSTER_BENCH_DURATION ?= 8s
 CLUSTER_BENCH_RATE ?= 500
 cluster-bench:
 	sh scripts/cluster_bench.sh $(CLUSTER_BENCH_DURATION) $(CLUSTER_BENCH_RATE)
+
+# Candidate-index smoke (PR 6): build a small index with idnindex, verify
+# it (deterministic rebuild + sampled sweep equivalence), then serve
+# through idnserve -index and fire the smoke set.
+index-smoke:
+	sh scripts/index_smoke.sh
 
 # Reduced-budget fuzz pass for CI.
 fuzz-smoke:

@@ -17,7 +17,8 @@
 // steady-state paths fail loudly (exit 1) even in CI smoke mode
 // (-benchtime=10x), where timing numbers are too noisy to gate on but
 // allocs/op is deterministic. -min-speedup optionally gates headline
-// ratios on full runs.
+// ratios on full runs, and -min-throughput gates absolute ops/s
+// (1e9/ns-per-op) floors such as the candidate index's 100k lookups/s.
 package main
 
 import (
@@ -62,6 +63,7 @@ func main() {
 	outPath := flag.String("out", "", "output JSON path (default stdout)")
 	zeroAllocs := flag.String("require-zero-allocs", "", "comma-separated benchmark names whose current allocs/op must be 0")
 	minSpeedup := flag.String("min-speedup", "", "comma-separated name=factor gates on old/new ns-per-op ratio")
+	minThroughput := flag.String("min-throughput", "", "comma-separated name=ops_per_sec gates on this run's 1e9/ns-per-op rate")
 	flag.Parse()
 
 	current, err := parseBench(os.Stdin)
@@ -161,6 +163,29 @@ func main() {
 			failed = true
 		} else {
 			fmt.Fprintf(os.Stderr, "benchjson: ok   %s: %.2fx (required %.2fx)\n", name, *e.SpeedupNs, factor)
+		}
+	}
+	for _, gate := range splitList(*minThroughput) {
+		name, rateStr, ok := strings.Cut(gate, "=")
+		if !ok {
+			fatalf("bad -min-throughput entry %q (want name=ops_per_sec)", gate)
+		}
+		rate, err := strconv.ParseFloat(rateStr, 64)
+		if err != nil {
+			fatalf("bad -min-throughput rate %q: %v", rateStr, err)
+		}
+		m, okCur := current[name]
+		if !okCur || m.NsPerOp <= 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: FAIL %s: not present in this run\n", name)
+			failed = true
+			continue
+		}
+		got := 1e9 / m.NsPerOp
+		if got < rate {
+			fmt.Fprintf(os.Stderr, "benchjson: FAIL %s: %.0f ops/s below required %.0f\n", name, got, rate)
+			failed = true
+		} else {
+			fmt.Fprintf(os.Stderr, "benchjson: ok   %s: %.0f ops/s (required %.0f)\n", name, got, rate)
 		}
 	}
 	if failed {

@@ -20,6 +20,7 @@
 //
 //	idnserve -listen 127.0.0.1:8181 -brands 1000 -cache 65536
 //	idnserve -listen 127.0.0.1:8181 -join 127.0.0.1:8180   # register with idngateway
+//	idnserve -listen 127.0.0.1:8181 -index brands.cidx     # O(1) candidate index
 //	curl -d '{"domain":"аррӏе.com"}' http://127.0.0.1:8181/v1/detect
 package main
 
@@ -33,6 +34,7 @@ import (
 	"syscall"
 	"time"
 
+	"idnlab/internal/candidx"
 	"idnlab/internal/serve"
 )
 
@@ -61,8 +63,20 @@ func run() error {
 		nodeID      = flag.String("node", "", "node ID for health bodies and ring placement (default <hostname>-<pid>)")
 		advertise   = flag.String("advertise", "", "host:port the gateway should route to (default: the bound listen address)")
 		maxRPS      = flag.Int("rate", 0, "per-node request rate cap, req/s (0 = unlimited)")
+		indexPath   = flag.String("index", "", "precomputed candidate index file (built by idnindex); replaces -brands with the index's embedded catalog")
 	)
 	flag.Parse()
+
+	var ix *candidx.Index
+	if *indexPath != "" {
+		loaded, err := candidx.LoadFile(*indexPath)
+		if err != nil {
+			return fmt.Errorf("load index: %w", err)
+		}
+		ix = loaded
+		fmt.Printf("idnserve: index %s: %d brands, %d keys, fingerprint %016x\n",
+			*indexPath, len(ix.Brands()), ix.KeyCount(), ix.Fingerprint())
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -81,6 +95,7 @@ func run() error {
 		RequestTimeout: *reqTimeout,
 		MaxBatch:       *maxBatch,
 		DrainTimeout:   *drain,
+		Index:          ix,
 	})
 
 	ready := make(chan net.Addr, 1)
@@ -90,7 +105,11 @@ func run() error {
 	case addr := <-ready:
 		// The exact "listening on" line is the smoke harness's readiness
 		// signal; keep it stable.
-		fmt.Printf("idnserve: listening on %s (brands=%d, SIGTERM to drain)\n", addr, *topK)
+		nBrands := *topK
+		if ix != nil {
+			nBrands = len(ix.Brands())
+		}
+		fmt.Printf("idnserve: listening on %s (brands=%d, SIGTERM to drain)\n", addr, nBrands)
 		if *join != "" {
 			// Peer mode: self-register with the gateway and heartbeat on
 			// its advertised cadence. The advertise address defaults to

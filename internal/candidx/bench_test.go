@@ -1,0 +1,86 @@
+package candidx
+
+import (
+	"testing"
+
+	"idnlab/internal/brands"
+	"idnlab/internal/simrand"
+)
+
+// benchBrands deterministically generates n ASCII LDH brand labels at the
+// catalog scale the index is specified for.
+func benchBrands(n int) []brands.Brand {
+	const letters = "abcdefghijklmnopqrstuvwxyz0123456789"
+	src := simrand.New(0xB_E4C4)
+	list := make([]brands.Brand, 0, n)
+	for i := 0; i < n; i++ {
+		m := 4 + src.Intn(14)
+		label := make([]byte, m)
+		for j := range label {
+			label[j] = letters[src.Intn(len(letters))]
+		}
+		list = append(list, brands.Brand{Domain: string(label) + ".com", Rank: i + 1})
+	}
+	return list
+}
+
+// benchLabels derives a lookup corpus spanning the probe classes: exact
+// brand labels, single- and double-unfoldable homograph shapes, length
+// edits, and clean misses.
+func benchLabels(list []brands.Brand, n int) []string {
+	src := simrand.New(0x100C09)
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		runes := []rune(list[src.Intn(len(list))].Label())
+		switch src.Intn(5) {
+		case 0: // exact
+		case 1: // one unfoldable substitution
+			runes[src.Intn(len(runes))] = 'ä'
+		case 2: // two unfoldable substitutions
+			runes[src.Intn(len(runes))] = 'ö'
+			runes[src.Intn(len(runes))] = 'а'
+		case 3: // length edit
+			runes = append(runes, 'ő')
+		case 4: // ASCII near-miss
+			runes[src.Intn(len(runes))] = rune('a' + src.Intn(26))
+		}
+		out = append(out, string(runes))
+	}
+	return out
+}
+
+// BenchmarkIndexLookup measures steady-state Candidates over a 10k-brand
+// index with a mixed probe corpus. Gated in CI (`make bench-index`) at
+// 0 allocs/op and >= 100k lookups/s.
+func BenchmarkIndexLookup(b *testing.B) {
+	ix, err := Build(benchBrands(10000), BuildOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	labels := benchLabels(ix.Brands(), 512)
+	var p Probe
+	var bytes int64
+	for _, l := range labels { // warm the probe scratch to its high-water size
+		ix.Candidates(l, &p)
+		bytes += int64(len(l))
+	}
+	b.SetBytes(bytes / int64(len(labels)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Candidates(labels[i%len(labels)], &p)
+	}
+}
+
+// BenchmarkIndexBuild tracks the offline build cost at 1/10 catalog scale
+// (informational; the offline path is not latency-gated).
+func BenchmarkIndexBuild(b *testing.B) {
+	list := benchBrands(1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(list, BuildOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

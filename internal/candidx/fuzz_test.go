@@ -1,0 +1,108 @@
+package candidx
+
+import (
+	"bytes"
+	"testing"
+
+	"idnlab/internal/brands"
+)
+
+// fuzzIndexBytes builds a small but structurally complete index (exact,
+// hole, pair, D and hard keys all populated) for the fuzz seeds.
+func fuzzIndexBytes(f *testing.F) []byte {
+	f.Helper()
+	ix, err := Build(brands.TopK(64), BuildOptions{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	return ix.Bytes()
+}
+
+// FuzzIndexRoundTrip throws arbitrary and corrupted bytes at the decoder:
+// Load must never panic or over-read, must return a clean error on
+// anything malformed, and any blob it does accept must round-trip
+// byte-identically and survive a lookup over every brand it indexes.
+func FuzzIndexRoundTrip(f *testing.F) {
+	valid := fuzzIndexBytes(f)
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte("IDNCIDX1"))
+	f.Add(valid[:len(valid)/2])
+	truncHeader := append([]byte(nil), valid[:headerSize]...)
+	f.Add(truncHeader)
+	flipped := append([]byte(nil), valid...)
+	flipped[headerSize+3] ^= 0x40
+	f.Add(flipped)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ix, err := Load(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(ix.Bytes(), data) {
+			t.Fatal("accepted blob does not round-trip byte-identically")
+		}
+		var p Probe
+		for id, b := range ix.Brands() {
+			ids := ix.Candidates(b.Label(), &p)
+			for i, got := range ids {
+				if int(got) >= len(ix.Brands()) {
+					t.Fatalf("candidate id %d out of range", got)
+				}
+				if i > 0 && ids[i-1] >= got {
+					t.Fatalf("candidates not strictly ascending: %v", ids)
+				}
+			}
+			if !containsID(ids, uint32(id)) {
+				t.Fatalf("brand %d (%s) cannot find itself", id, b.Domain)
+			}
+		}
+	})
+}
+
+// FuzzIndexLookup drives Candidates with arbitrary label strings over a
+// real index: no panics, strictly ascending in-range IDs, and the lookup
+// is a fixed point — repeating it with the same probe returns the same
+// candidate set (the epoch-dedup scratch must fully reset between calls).
+func FuzzIndexLookup(f *testing.F) {
+	ix, err := Load(fuzzIndexBytes(f))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add("example")
+	f.Add("examp1e")
+	f.Add("exam日ple")
+	f.Add("")
+	f.Add("ааааааааа")       // Cyrillic
+	f.Add("\xff\xfe\x00bad") // invalid UTF-8
+	f.Add("aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa")
+	f.Fuzz(func(t *testing.T, label string) {
+		var p Probe
+		first := append([]uint32(nil), ix.Candidates(label, &p)...)
+		for i, id := range first {
+			if int(id) >= len(ix.Brands()) {
+				t.Fatalf("candidate id %d out of range", id)
+			}
+			if i > 0 && first[i-1] >= id {
+				t.Fatalf("candidates not strictly ascending: %v", first)
+			}
+		}
+		second := ix.Candidates(label, &p)
+		if len(first) != len(second) {
+			t.Fatalf("lookup not a fixed point: %d then %d candidates", len(first), len(second))
+		}
+		for i := range first {
+			if first[i] != second[i] {
+				t.Fatalf("lookup not a fixed point: %v then %v", first, second)
+			}
+		}
+	})
+}
+
+func containsID(ids []uint32, want uint32) bool {
+	for _, id := range ids {
+		if id == want {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,189 @@
+package candidx
+
+import (
+	"encoding/binary"
+	"slices"
+
+	"idnlab/internal/simchar"
+)
+
+// Probe is the reusable per-caller lookup scratch: the fold buffer, the
+// probe-key buffer, the epoch-stamped dedup array and the output slice.
+// A Probe is not safe for concurrent use; each goroutine owns one (the
+// detector keeps a Probe per clone). After the buffers warm up, lookups
+// through the same Probe allocate nothing.
+type Probe struct {
+	folds []byte   // per-rune fold byte; 0 marks an unfoldable rune
+	key   []byte   // probe-key scratch
+	out   []uint32 // candidate output buffer
+	seen  []uint32 // per-brand epoch stamps for dedup
+	epoch uint32
+	hit   bool
+}
+
+// Candidates returns the IDs of every brand that must be rescored to
+// decide the label: the union of all index key matches and the hard
+// list, deduplicated and sorted ascending. The caller applies its own
+// eligibility rules (length-difference skip) and scores the survivors;
+// the index never decides a verdict by itself, which is what keeps
+// index-backed detection bit-identical to the full sweep.
+//
+// The returned slice aliases p's output buffer and is valid until the
+// next Candidates call with the same Probe.
+func (ix *Index) Candidates(label string, p *Probe) []uint32 {
+	ix.lookups.Add(1)
+
+	// Fold the label. Unfoldable runes (hash glyphs, punctuation) can
+	// only ever match a wildcard position, so only their positions — not
+	// their bytes — matter; 0 marks them (index keys never contain 0).
+	p.folds = p.folds[:0]
+	unf := 0
+	q1, q2 := -1, -1
+	for _, r := range label {
+		b, ok := ix.table.Fold(r)
+		if !ok {
+			switch unf {
+			case 0:
+				q1 = len(p.folds)
+			case 1:
+				q2 = len(p.folds)
+			}
+			unf++
+			b = 0
+		}
+		p.folds = append(p.folds, ix.ixFold[b])
+	}
+	n := len(p.folds)
+
+	if len(p.seen) < len(ix.brandList) {
+		p.seen = make([]uint32, len(ix.brandList))
+		p.epoch = 0
+	}
+	p.epoch++
+	if p.epoch == 0 { // stamp wrap: re-zero once every 2^32 lookups
+		clear(p.seen)
+		p.epoch = 1
+	}
+	p.out = p.out[:0]
+	p.hit = false
+
+	if n >= 1 && n <= MaxKeyLen {
+		// Same-length class (and, through the padded keys stored one
+		// short, brands one rune longer).
+		ix.probeLen(p, n, unf, q1, q2)
+	}
+	if n >= 2 && n-1 <= MaxKeyLen {
+		// Truncation class: a label one rune longer than a brand renders
+		// identically to its own length-minus-one prefix at the brand's
+		// width, so brands of length n-1 are probed with the prefix. The
+		// dropped rune leaves the fold profile unchanged except when it
+		// was itself unfoldable (it is by construction the last-tracked
+		// one, since unfoldable positions are recorded in order).
+		unfP, q1P, q2P := unf, q1, q2
+		if p.folds[n-1] == 0 {
+			unfP--
+			if q2 == n-1 {
+				q2P = -1
+			}
+			if q1 == n-1 {
+				q1P = -1
+			}
+		}
+		ix.probeLen(p, n-1, unfP, q1P, q2P)
+	}
+
+	for _, id := range ix.hard {
+		p.add(id)
+	}
+	slices.Sort(p.out)
+	if p.hit {
+		ix.hits.Add(1)
+	}
+	return p.out
+}
+
+// probeLen issues every key probe of length L consistent with the
+// label's fold profile: with no unfoldable runes, the exact skeleton,
+// all single-hole variants and the registered double-hole patterns; with
+// one, only holes covering it; with two, only the registered pair; with
+// three or more, nothing (no stored key has three wildcards — brands
+// needing that live on the hard list).
+func (ix *Index) probeLen(p *Probe, L, unf, q1, q2 int) {
+	p.key = append(p.key[:0], p.folds[:L]...)
+	switch unf {
+	case 0:
+		ix.probeKey(p)
+		for i := 0; i < L; i++ {
+			prev := p.key[i]
+			p.key[i] = HoleByte
+			ix.probeKey(p)
+			p.key[i] = prev
+		}
+		for _, pr := range ix.pairsByLen[L] {
+			i, j := int(pr[0]), int(pr[1])
+			pi, pj := p.key[i], p.key[j]
+			p.key[i], p.key[j] = HoleByte, HoleByte
+			ix.probeKey(p)
+			p.key[i], p.key[j] = pi, pj
+		}
+	case 1:
+		p.key[q1] = HoleByte
+		ix.probeKey(p)
+		for _, pr := range ix.pairsByLen[L] {
+			i, j := int(pr[0]), int(pr[1])
+			if i != q1 && j != q1 {
+				continue
+			}
+			pi, pj := p.key[i], p.key[j]
+			p.key[i], p.key[j] = HoleByte, HoleByte
+			ix.probeKey(p)
+			p.key[i], p.key[j] = pi, pj
+		}
+	case 2:
+		for _, pr := range ix.pairsByLen[L] {
+			if int(pr[0]) == q1 && int(pr[1]) == q2 {
+				p.key[q1], p.key[q2] = HoleByte, HoleByte
+				ix.probeKey(p)
+				break
+			}
+		}
+	}
+}
+
+// probeKey looks p.key up in the slot table and appends any matching
+// entry's brand IDs to the output.
+func (ix *Index) probeKey(p *Probe) {
+	key := p.key
+	h := uint32(simchar.HashBytes(0, key))
+	for i := uint32(0); ; i++ {
+		if i > ix.mask {
+			return // table full of other keys; cannot happen for valid files
+		}
+		s := (h + i) & ix.mask
+		keyRef := binary.LittleEndian.Uint32(ix.slots[s*8:])
+		if keyRef == 0 {
+			return
+		}
+		ko := int(keyRef - 1)
+		kl := int(ix.keys[ko])
+		if kl != len(key) || string(ix.keys[ko+1:ko+1+kl]) != string(key) {
+			continue
+		}
+		eo := int(binary.LittleEndian.Uint32(ix.slots[s*8+4:]))
+		cnt := int(binary.LittleEndian.Uint16(ix.entries[eo:]))
+		for j := 0; j < cnt; j++ {
+			p.add(binary.LittleEndian.Uint32(ix.entries[eo+2+j*4:]))
+		}
+		p.hit = true
+		return
+	}
+}
+
+// add appends a brand ID to the output unless already present this epoch.
+func (p *Probe) add(id uint32) {
+	if p.seen[id] == p.epoch {
+		return
+	}
+	p.seen[id] = p.epoch
+	p.out = append(p.out, id)
+}

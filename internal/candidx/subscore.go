@@ -1,0 +1,86 @@
+// Package candidx compiles a brand catalog into a precomputed homograph
+// candidate index: every brand is expanded through the SSIM-derived
+// confusability table (package simchar) into the set of skeleton keys a
+// confusable label can probe with, so the serving layer answers "which
+// brands could this label imitate?" with a handful of O(1) hash probes
+// instead of an O(brands) SSIM sweep. Candidates returned by the index
+// are rescored with the detector's own SSIM kernel, which keeps index-
+// backed verdicts bit-identical to the brute sweep while reducing the
+// per-lookup work from thousands of image comparisons to (typically)
+// zero or one.
+//
+// The index is compiled offline (cmd/idnindex), serialized into a
+// versioned, checksummed, []byte-backed file, and loaded zero-copy at
+// serve startup. Lookups allocate nothing in steady state.
+package candidx
+
+import (
+	"idnlab/internal/glyph"
+)
+
+// SubGeom is the precomputed geometry of substituting one glyph cell for
+// another: the changed-pixel bounding box relative to the cell origin and
+// the substitute's pixels inside that box, ready for the SSIM patch
+// kernels. Geometry is a pure function of the glyph pair, so callers
+// cache it per base and replay it at every position the base occurs.
+type SubGeom struct {
+	// R is the substitute code point.
+	R rune
+	// DX0, DX1, DY0, DY1 bound the changed pixels within the cell
+	// (columns [DX0, DX1), rows [DY0, DY1)). DX0 == DX1 means the two
+	// glyphs are pixel-identical.
+	DX0, DX1, DY0, DY1 int
+	// Patch holds the substitute's pixels inside the box, row-major with
+	// stride DX1-DX0; nil for pixel-identical pairs.
+	Patch []byte
+}
+
+// GeomCache memoizes per-base substitution geometry. It is not safe for
+// concurrent use; build paths are single-goroutine.
+type GeomCache struct {
+	re    *glyph.Renderer
+	cache map[rune][]SubGeom
+}
+
+// NewGeomCache returns an empty cache over the given renderer.
+func NewGeomCache(re *glyph.Renderer) *GeomCache {
+	return &GeomCache{re: re, cache: make(map[rune][]SubGeom)}
+}
+
+// Of returns the substitution geometry of every rune in subs against
+// base, computing and caching it on first use. The subs list must be the
+// same for repeated calls with the same base (one cache per generation
+// source). The returned slice is shared and must not be modified.
+func (g *GeomCache) Of(base rune, subs []rune) []SubGeom {
+	if list, ok := g.cache[base]; ok {
+		return list
+	}
+	ca := g.re.CellBits(base)
+	list := make([]SubGeom, 0, len(subs))
+	for _, h := range subs {
+		cb := g.re.CellBits(h)
+		c := SubGeom{R: h}
+		c.DX0, c.DX1, c.DY0, c.DY1 = glyph.DiffBox(ca, cb)
+		if c.DX0 != c.DX1 {
+			c.Patch = glyph.AppendPatch(cb, c.DX0, c.DX1, c.DY0, c.DY1, nil)
+		}
+		list = append(list, c)
+	}
+	g.cache[base] = list
+	return list
+}
+
+// BlankGeom returns the geometry of erasing base's cell entirely (the
+// padded-comparison class: a label one rune shorter than the brand
+// renders the brand's last cell as background). DX0 == DX1 when the base
+// cell has no ink.
+func BlankGeom(re *glyph.Renderer, base rune) SubGeom {
+	ca := re.CellBits(base)
+	var blank [glyph.CellHeight]uint8
+	c := SubGeom{R: 0}
+	c.DX0, c.DX1, c.DY0, c.DY1 = glyph.DiffBox(ca, blank)
+	if c.DX0 != c.DX1 {
+		c.Patch = glyph.AppendPatch(blank, c.DX0, c.DX1, c.DY0, c.DY1, nil)
+	}
+	return c
+}

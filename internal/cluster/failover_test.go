@@ -102,7 +102,11 @@ func startCluster(t *testing.T, n int, minReady int) *testCluster {
 		},
 		RequestTimeout: 2 * time.Second,
 		MinReady:       minReady,
-		DrainTimeout:   2 * time.Second,
+		// Generous drain budget: the whole suite runs in parallel with
+		// CPU-heavy packages, and a contended drain blowing a tight
+		// deadline fails the run as "context deadline exceeded" without
+		// any real bug.
+		DrainTimeout: 10 * time.Second,
 	})
 	gwCtx, gwStop := context.WithCancel(context.Background())
 	tc.gwStop = gwStop

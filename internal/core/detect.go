@@ -9,6 +9,7 @@ import (
 	"unicode/utf8"
 
 	"idnlab/internal/brands"
+	"idnlab/internal/candidx"
 	"idnlab/internal/confusables"
 	"idnlab/internal/glyph"
 	"idnlab/internal/idna"
@@ -73,6 +74,13 @@ type HomographDetector struct {
 	scratchRef   *image.Gray
 	scratchLabel string
 	scratchWidth int
+	// customBrands, when set (WithBrands / WithIndex), replaces the
+	// global top-k catalog; index is the precomputed candidate index
+	// DetectNormalized consults before any sweep, and probe its private
+	// lookup scratch (never shared by Clone).
+	customBrands []brands.Brand
+	index        *candidx.Index
+	probe        *candidx.Probe
 }
 
 // HomographOption configures the detector.
@@ -103,7 +111,7 @@ func NewHomographDetector(topK int, opts ...HomographOption) *HomographDetector 
 	for _, o := range opts {
 		o(d)
 	}
-	d.brandList = brands.TopK(topK)
+	d.resolveBrandSetup(topK)
 	for _, b := range d.brandList {
 		if _, dup := d.brandsByLabel[b.Label()]; !dup {
 			d.brandsByLabel[b.Label()] = b
@@ -112,8 +120,13 @@ func NewHomographDetector(topK int, opts ...HomographOption) *HomographDetector 
 	// Score, brute-force DetectOne and AvailabilityStudy all reference
 	// brands at exactly their own width, so the shared prerender cache
 	// covers every hot-path render and half of every hot-path
-	// integral-image build.
+	// integral-image build. A custom catalog (WithBrands / WithIndex)
+	// extends it with private prerenders, so Score stays on the
+	// precomputed-table path for every brand either way.
 	d.brandRefs, d.brandWidths = brandCache()
+	if d.customBrands != nil {
+		d.brandRefs, d.brandWidths = extendBrandCache(d.renderer, d.brandRefs, d.brandWidths, d.brandList)
+	}
 	d.brandLens = make([]int, len(d.brandList))
 	for i, b := range d.brandList {
 		d.brandLens[i] = utf8.RuneCountInString(b.Label())
@@ -167,6 +180,7 @@ func (d *HomographDetector) Clone() *HomographDetector {
 	c.scratchRef = nil
 	c.scratchLabel = ""
 	c.scratchWidth = 0
+	c.probe = nil
 	return &c
 }
 
@@ -221,6 +235,11 @@ func (d *HomographDetector) DetectOne(domain string) (HomographMatch, bool) {
 func (d *HomographDetector) DetectNormalized(n NormalizedDomain) (HomographMatch, bool) {
 	if n.ASCII {
 		return HomographMatch{}, false // homographs need non-ASCII content
+	}
+	if d.index != nil {
+		// Index first: O(1) candidate probes plus a rescore of the few
+		// hits, bit-identical to the sweep below by construction.
+		return d.detectIndexed(n)
 	}
 	label := n.Label
 	best := HomographMatch{Domain: n.ACE, Unicode: n.Unicode, SSIM: -1}
@@ -461,31 +480,13 @@ func (d *HomographDetector) AvailabilityStudyReg(topK int, regUni map[string]uin
 	// There are only a few dozen bases with a few dozen homoglyphs each,
 	// while the sweep visits tens of thousands of (brand, position,
 	// homoglyph) triples — so the boxes and patches are computed once per
-	// base and replayed everywhere that letter appears.
-	type availCand struct {
-		h                  rune
-		dx0, dx1, dy0, dy1 int
-		patch              []byte
-	}
-	candCache := make(map[rune][]availCand)
-	candsOf := func(base rune) []availCand {
-		if list, ok := candCache[base]; ok {
-			return list
-		}
-		hs := genTable.Homoglyphs(base)
-		ca := d.renderer.CellBits(base)
-		list := make([]availCand, 0, len(hs))
-		for _, h := range hs {
-			cb := d.renderer.CellBits(h)
-			c := availCand{h: h}
-			c.dx0, c.dx1, c.dy0, c.dy1 = glyph.DiffBox(ca, cb)
-			if c.dx0 != c.dx1 {
-				c.patch = glyph.AppendPatch(cb, c.dx0, c.dx1, c.dy0, c.dy1, nil)
-			}
-			list = append(list, c)
-		}
-		candCache[base] = list
-		return list
+	// base and replayed everywhere that letter appears. The memoization
+	// lives in candidx.GeomCache, the same expansion the candidate-index
+	// builder runs offline; geometry is computed by one code path whether
+	// the sweep happens at build time or report time.
+	geoCache := candidx.NewGeomCache(d.renderer)
+	candsOf := func(base rune) []candidx.SubGeom {
+		return geoCache.Of(base, genTable.Homoglyphs(base))
 	}
 	for _, b := range brands.TopK(topK) {
 		label := b.Label()
@@ -522,14 +523,14 @@ func (d *HomographDetector) AvailabilityStudyReg(topK int, regUni map[string]uin
 				// For a pixel-identical homoglyph (empty box) the candidate
 				// raster equals the brand raster and the score is exactly
 				// 1.0 without touching the kernel.
-				if cnd.dx0 == cnd.dx1 {
+				if cnd.DX0 == cnd.DX1 {
 					if 1.0 < d.threshold {
 						continue
 					}
 				} else {
 					above, err := d.cmp.RefSubPatchAbove(rt,
-						cellX+cnd.dx0, cellX+cnd.dx1, cnd.dy0, cnd.dy1,
-						cnd.patch, d.threshold)
+						cellX+cnd.DX0, cellX+cnd.DX1, cnd.DY0, cnd.DY1,
+						cnd.Patch, d.threshold)
 					if err != nil || !above {
 						continue
 					}
@@ -538,7 +539,7 @@ func (d *HomographDetector) AvailabilityStudyReg(topK int, regUni map[string]uin
 				// Splice the variant into the reusable key buffer; the
 				// map lookup on string(keyBuf) compiles without a copy.
 				keyBuf = append(keyBuf[:0], label[:byteOff]...)
-				keyBuf = utf8.AppendRune(keyBuf, cnd.h)
+				keyBuf = utf8.AppendRune(keyBuf, cnd.R)
 				keyBuf = append(keyBuf, label[byteOff+baseLen:]...)
 				res.Registered += tldBitCount(regUni[string(keyBuf)])
 			}

@@ -1,0 +1,13 @@
+//go:build !race
+
+package core
+
+// Equivalence-battery scale. The plain test run exercises the full
+// 10k-brand catalog the index is specified for; the -race run (see
+// equivscale_race.go) shrinks the corpus so the instrumented build stays
+// within CI time while still crossing every code path.
+const (
+	equivBrandCount = 10000
+	equivLabelCount = 600
+	raceEnabled     = false
+)

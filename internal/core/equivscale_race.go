@@ -1,0 +1,12 @@
+//go:build race
+
+package core
+
+// Race-scaled equivalence-battery sizes: the race detector multiplies
+// both memory and CPU several-fold, so the property corpus shrinks while
+// keeping every generator mode and detection class covered.
+const (
+	equivBrandCount = 800
+	equivLabelCount = 150
+	raceEnabled     = true
+)

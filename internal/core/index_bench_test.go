@@ -1,0 +1,48 @@
+package core
+
+import (
+	"testing"
+
+	"idnlab/internal/candidx"
+	"idnlab/internal/simchar"
+	"idnlab/internal/simrand"
+)
+
+// BenchmarkDetectNormalized10k measures single-domain homograph detection
+// over a 10k-brand catalog on a mixed adversarial label corpus, through
+// the candidate index (the production path when an index is loaded). The
+// committed BENCH_baseline_index.txt records the same benchmark run over
+// the sweep path (WithoutPrefilter + WithBrands) — the sweep is the
+// specification the index is bit-identical to, so old/new is the honest
+// cost of exact detection before and after the index.
+func BenchmarkDetectNormalized10k(b *testing.B) {
+	src := simrand.New(0x1D9A_7C3E)
+	list := genBrandCorpus(src.Fork("brands"), 10000)
+	ix, err := candidx.Build(list, candidx.BuildOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := NewHomographDetector(0, WithIndex(ix))
+	tab := simchar.Default()
+	lsrc := src.Fork("labels")
+	var corpus []NormalizedDomain
+	var bytes int64
+	for i := 0; i < 64; i++ {
+		label := mutateLabel(lsrc, tab, list[lsrc.Intn(len(list))].Label())
+		n, err := Normalize(label + ".com")
+		if err != nil {
+			continue
+		}
+		corpus = append(corpus, n)
+		bytes += int64(len(n.Label))
+	}
+	for _, n := range corpus {
+		d.DetectNormalized(n)
+	}
+	b.SetBytes(bytes / int64(len(corpus)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.DetectNormalized(corpus[i%len(corpus)])
+	}
+}

@@ -1,6 +1,10 @@
 package core
 
-import "context"
+import (
+	"context"
+
+	"idnlab/internal/candidx"
+)
 
 // Parallel corpus scanning. The paper's brute-force sweep took 102 hours
 // on a single 4 GB machine; corpus scans are embarrassingly parallel, and
@@ -25,6 +29,24 @@ type DetectorConfig struct {
 	TopK int
 	// Options apply to every instance.
 	Options []HomographOption
+	// Index, when set, attaches a precomputed candidate index to every
+	// instance (equivalent to appending WithIndex to Options). Carrying
+	// it as a first-class field means every construction path built on
+	// DetectorConfig — the classifier, the scan engines and the
+	// deprecated DetectParallel shim — routes through the index
+	// identically instead of silently falling back to the sweep.
+	Index *candidx.Index
+}
+
+// detectorOptions resolves the config into the option list detector
+// construction actually applies.
+func (cfg DetectorConfig) detectorOptions() []HomographOption {
+	if cfg.Index == nil {
+		return cfg.Options
+	}
+	opts := make([]HomographOption, 0, len(cfg.Options)+1)
+	opts = append(opts, cfg.Options...)
+	return append(opts, WithIndex(cfg.Index))
 }
 
 // DetectParallel scans the corpus for homographic IDNs with one detector

@@ -3,6 +3,9 @@ package core
 import (
 	"reflect"
 	"testing"
+
+	"idnlab/internal/brands"
+	"idnlab/internal/candidx"
 )
 
 // These tests pin the deprecated DetectParallel wrapper; the pipeline
@@ -45,6 +48,35 @@ func TestDetectParallelWithOptions(t *testing.T) {
 		if m.SSIM < 0.999 {
 			t.Errorf("threshold not applied: %v", m)
 		}
+	}
+}
+
+// TestDetectParallelUsesIndex pins the DetectorConfig.Index routing: the
+// deprecated shim must produce the same matches as a sequential indexed
+// detector AND actually consult the index (an earlier wiring bug dropped
+// the field on the floor, silently falling back to the sweep on every
+// worker — correct output, none of the index's speedup, and no test
+// noticed).
+func TestDetectParallelUsesIndex(t *testing.T) {
+	list := brands.TopK(1000)
+	ix, err := candidx.Build(list, candidx.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpus := testDS.IDNs
+	seq := NewHomographDetector(0, WithIndex(ix)).Detect(corpus)
+	before, _ := ix.Stats()
+	cfg := DetectorConfig{Index: ix}
+	for _, workers := range []int{1, 4} {
+		par := DetectParallel(cfg, corpus, workers)
+		if !reflect.DeepEqual(seq, par) {
+			t.Errorf("workers=%d: indexed parallel result differs (%d vs %d matches)",
+				workers, len(par), len(seq))
+		}
+	}
+	after, _ := ix.Stats()
+	if after == before {
+		t.Fatalf("DetectParallel never consulted the index (lookups stuck at %d)", before)
 	}
 }
 

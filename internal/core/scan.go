@@ -58,7 +58,7 @@ func NewHomographEngine(cfg DetectorConfig, workers int) *pipeline.Engine[string
 	return pipeline.New(
 		pipeline.Config{Stage: "homograph", Workers: workers},
 		func() *HomographDetector {
-			once.Do(func() { proto = NewHomographDetector(cfg.TopK, cfg.Options...) })
+			once.Do(func() { proto = NewHomographDetector(cfg.TopK, cfg.detectorOptions()...) })
 			return proto.Clone()
 		},
 		func(d *HomographDetector, domain string) (HomographMatch, bool, error) {

@@ -85,7 +85,7 @@ type Classifier struct {
 // NewClassifier builds the paired detectors over the top-k brand list.
 func NewClassifier(cfg DetectorConfig) *Classifier {
 	return &Classifier{
-		homo: NewHomographDetector(cfg.TopK, cfg.Options...),
+		homo: NewHomographDetector(cfg.TopK, cfg.detectorOptions()...),
 		sem:  NewSemanticDetector(cfg.TopK),
 	}
 }

@@ -68,6 +68,21 @@ type RequestStats struct {
 	RateLimited uint64 `json:"rateLimited"`
 }
 
+// IndexStats is the candidate-index wire form: which index (if any) the
+// node serves with, and how often lookups produce candidates. A low hit
+// rate is healthy — most traffic is not a near-homograph of any brand,
+// and a miss is the cheapest possible verdict.
+type IndexStats struct {
+	Loaded      bool    `json:"loaded"`
+	Format      string  `json:"format,omitempty"`
+	Fingerprint string  `json:"fingerprint,omitempty"`
+	Brands      int     `json:"brands,omitempty"`
+	Keys        int     `json:"keys,omitempty"`
+	Lookups     uint64  `json:"lookups"`
+	Hits        uint64  `json:"hits"`
+	HitRate     float64 `json:"hitRate"`
+}
+
 // MetricsSnapshot is the full /metrics payload.
 type MetricsSnapshot struct {
 	Node          string               `json:"node"`
@@ -78,4 +93,5 @@ type MetricsSnapshot struct {
 	Cache         CacheStats           `json:"cache"`
 	Admission     AdmissionStats       `json:"admission"`
 	BatchEngine   pipeline.MetricsJSON `json:"batchEngine"`
+	Index         IndexStats           `json:"index"`
 }

@@ -34,6 +34,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"idnlab/internal/candidx"
 	"idnlab/internal/core"
 	"idnlab/internal/pipeline"
 	"idnlab/internal/version"
@@ -80,6 +81,12 @@ type Config struct {
 	// models fixed per-node capacity, which is what makes horizontal
 	// scaling measurable: N capped workers sustain ~N× one worker.
 	MaxRPS int
+	// Index, when set, is a precomputed homograph candidate index (built
+	// offline by idnindex, loaded with candidx.LoadFile): every detector
+	// instance routes through its O(1) candidate probes instead of the
+	// sweep, and defends the index's embedded catalog instead of the
+	// top-TopK list. Index stats surface at /metrics.
+	Index *candidx.Index
 }
 
 func (c Config) withDefaults() Config {
@@ -169,7 +176,7 @@ func NewServer(cfg Config) *Server {
 	if cfg.Threshold > 0 {
 		opts = append(opts, core.WithThreshold(cfg.Threshold))
 	}
-	dcfg := core.DetectorConfig{TopK: cfg.TopK, Options: opts}
+	dcfg := core.DetectorConfig{TopK: cfg.TopK, Options: opts, Index: cfg.Index}
 	s := &Server{
 		cfg:     cfg,
 		cache:   NewVerdictCache(cfg.CacheSize, cfg.CacheShards),
@@ -321,7 +328,30 @@ func (s *Server) Snapshot() MetricsSnapshot {
 		Cache:       s.cache.Stats(),
 		Admission:   s.adm.Stats(),
 		BatchEngine: s.batchEng.Metrics().JSON(),
+		Index:       indexStats(s.cfg.Index),
 	}
+}
+
+// indexStats snapshots the candidate index's live counters for /metrics;
+// the zero value (Loaded false) reports a sweep-only node.
+func indexStats(ix *candidx.Index) IndexStats {
+	if ix == nil {
+		return IndexStats{}
+	}
+	lookups, hits := ix.Stats()
+	st := IndexStats{
+		Loaded:      true,
+		Format:      string(ix.Bytes()[:8]),
+		Fingerprint: fmt.Sprintf("%016x", ix.Fingerprint()),
+		Brands:      len(ix.Brands()),
+		Keys:        ix.KeyCount(),
+		Lookups:     lookups,
+		Hits:        hits,
+	}
+	if lookups > 0 {
+		st.HitRate = float64(hits) / float64(lookups)
+	}
+	return st
 }
 
 // Run serves on addr until ctx is cancelled, then drains gracefully:
