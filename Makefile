@@ -18,8 +18,15 @@ REPORT_BENCH_PATTERN = ^(BenchmarkStudyRun|BenchmarkLangIDClassify|BenchmarkLang
 # lookups/s), so they hold at any benchtime.
 INDEX_BENCHTIME ?= 1s
 INDEX_BENCH_PATTERN = ^(BenchmarkIndexLookup|BenchmarkDetectNormalized10k)$$
+# Benchtime for bench-watch: 1s for publishable numbers; the CI smoke
+# uses 0.3s (the pattern includes the whole-delta parse benchmark, so a
+# fixed iteration count would blow the budget; 0.3s still gives the
+# match loop ~200k iterations — a stable ns/op against the 500k
+# deltas/s floor — and allocs/op is exact at any benchtime).
+WATCH_BENCHTIME ?= 1s
+WATCH_BENCH_PATTERN = ^(BenchmarkWatchMatch1M|BenchmarkAlertLogAppend|BenchmarkDeltaParse)$$
 
-.PHONY: all build vet test race bench bench-ssim bench-report bench-index report fuzz fuzz-smoke serve-smoke serve-bench cluster-smoke cluster-bench index-smoke clean
+.PHONY: all build vet test race bench bench-ssim bench-report bench-index bench-watch report fuzz fuzz-smoke serve-smoke serve-bench cluster-smoke cluster-bench index-smoke watch-smoke clean
 
 all: build vet test
 
@@ -74,6 +81,20 @@ bench-index:
 	      -require-zero-allocs BenchmarkIndexLookup,BenchmarkDetectNormalized10k \
 	      -min-throughput BenchmarkIndexLookup=100000
 
+# Streaming watch-tier benchmarks (PR 7): one delta event through the
+# match stage at 10k brands / 1M standing subscriptions, the alert log's
+# group-commit batching curve (1/16/256 writers), and the delta parser,
+# into BENCH_watch.json (old = recorded WATCH_NAIVE=1 sweep baseline).
+# Exits non-zero if the match loop allocates or drops below 500k
+# deltas/s. CI smoke: `make bench-watch WATCH_BENCHTIME=0.3s`.
+bench-watch:
+	$(GO) test -run='^$$' -bench '$(WATCH_BENCH_PATTERN)' -benchmem -benchtime=$(WATCH_BENCHTIME) ./internal/watch/ \
+	  | $(GO) run ./cmd/benchjson \
+	      -baseline BENCH_baseline_watch.txt \
+	      -out BENCH_watch.json \
+	      -require-zero-allocs BenchmarkWatchMatch1M \
+	      -min-throughput BenchmarkWatchMatch1M=500000
+
 # The full study: every table and figure at 1/100 of the paper's corpus.
 report:
 	$(GO) run ./cmd/idnreport -seed 2018 -scale 100
@@ -89,6 +110,8 @@ fuzz:
 	$(GO) test -fuzz=FuzzDecodeBatch -fuzztime=$(FUZZTIME) ./internal/serve/
 	$(GO) test -fuzz=FuzzIndexRoundTrip -fuzztime=$(FUZZTIME) ./internal/candidx/
 	$(GO) test -fuzz=FuzzIndexLookup -fuzztime=$(FUZZTIME) ./internal/candidx/
+	$(GO) test -fuzz=FuzzDeltaParse -fuzztime=$(FUZZTIME) ./internal/watch/
+	$(GO) test -fuzz=FuzzAlertLogReplay -fuzztime=$(FUZZTIME) ./internal/watch/
 
 # End-to-end smoke of the online detection service: boot idnserve, fire
 # the mixed single/batch/bad-input set via idnload -smoke, assert clean
@@ -121,6 +144,12 @@ cluster-bench:
 # through idnserve -index and fire the smoke set.
 index-smoke:
 	sh scripts/index_smoke.sh
+
+# Watch-tier smoke (PR 7): idnzonegen emits a delta stream, idnwatch
+# processes it once (alerts, idempotent cursor, deterministic re-run),
+# then tails it as a daemon with /metrics and drains cleanly on SIGTERM.
+watch-smoke:
+	sh scripts/watch_smoke.sh
 
 # Reduced-budget fuzz pass for CI.
 fuzz-smoke:

@@ -34,12 +34,15 @@ import (
 	"time"
 )
 
-// Metrics is one benchmark line's numbers.
+// Metrics is one benchmark line's numbers. Custom units reported via
+// b.ReportMetric (e.g. the alert log's frames/commit batching curve)
+// land in Extra keyed by their unit string.
 type Metrics struct {
-	NsPerOp     float64  `json:"ns_per_op"`
-	BytesPerOp  *float64 `json:"b_per_op,omitempty"`
-	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
-	MBPerSec    *float64 `json:"mb_per_s,omitempty"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  *float64           `json:"b_per_op,omitempty"`
+	AllocsPerOp *float64           `json:"allocs_per_op,omitempty"`
+	MBPerSec    *float64           `json:"mb_per_s,omitempty"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
 }
 
 // Entry pairs a benchmark's baseline and current numbers.
@@ -237,6 +240,13 @@ func parseBench(r io.Reader) (map[string]Metrics, error) {
 				m.AllocsPerOp = ptr(v)
 			case "MB/s":
 				m.MBPerSec = ptr(v)
+			default:
+				if strings.Contains(fields[i+1], "/") {
+					if m.Extra == nil {
+						m.Extra = map[string]float64{}
+					}
+					m.Extra[fields[i+1]] = v
+				}
 			}
 		}
 		if seenNs {

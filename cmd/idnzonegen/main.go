@@ -6,6 +6,11 @@
 // Usage:
 //
 //	idnzonegen -out ./zones -seed 1 -scale 100
+//
+// With -deltas N it additionally emits N days of deterministic
+// day-over-day zone deltas (adds/drops/NS changes in IXFR-style master
+// syntax) as delta-<serial>.zone files — the input stream the idnwatch
+// daemon tails.
 package main
 
 import (
@@ -26,15 +31,46 @@ func main() {
 
 func run() error {
 	var (
-		out   = flag.String("out", "zones", "output directory for zone files")
-		seed  = flag.Uint64("seed", 1, "generation seed")
-		scale = flag.Int("scale", zonegen.DefaultScale, "down-scaling divisor (1 = paper scale)")
+		out         = flag.String("out", "zones", "output directory for zone files")
+		seed        = flag.Uint64("seed", 1, "generation seed")
+		scale       = flag.Int("scale", zonegen.DefaultScale, "down-scaling divisor (1 = paper scale)")
+		deltaDays   = flag.Int("deltas", 0, "also emit this many days of zone deltas")
+		adds        = flag.Int("delta-adds", 0, "registrations per delta day (0 = derived from corpus size)")
+		attackShare = flag.Float64("delta-attack-share", 0, "fraction of delta adds that are homograph attacks (0 = default)")
+		skipZones   = flag.Bool("deltas-only", false, "skip the full zone snapshot, emit only deltas")
 	)
 	flag.Parse()
 
 	reg := zonegen.Generate(zonegen.Config{Seed: *seed, Scale: *scale})
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		return err
+	}
+	if *deltaDays > 0 {
+		gen := reg.DeltaStream(zonegen.DeltaConfig{AddsPerDay: *adds, AttackShare: *attackShare})
+		var records int
+		for i := 0; i < *deltaDays; i++ {
+			d := gen.Next()
+			path := filepath.Join(*out, zonegen.DeltaFileName(d.Serial))
+			f, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			if _, err := d.WriteTo(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			for _, z := range d.Zones {
+				records += len(z.Records)
+			}
+		}
+		fmt.Printf("wrote %d delta files (%d operations, %d live domains) to %s\n",
+			*deltaDays, records, gen.Live(), *out)
+	}
+	if *skipZones {
+		return nil
 	}
 	zones := reg.BuildZones()
 	var files, records int

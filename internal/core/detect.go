@@ -218,6 +218,37 @@ func (d *HomographDetector) Score(label, brandLabel string) float64 {
 	return v
 }
 
+// ScoreBounded is Score with an early-exit floor for rescore loops that
+// only act on scores at or above min — the index-backed detection path,
+// where most candidates fall short of the threshold and the exact
+// deficit is irrelevant. It returns (score, true) with score identical
+// to Score's when the score is at least min, and (partial, false) —
+// guaranteeing Score would return strictly less than min — otherwise.
+func (d *HomographDetector) ScoreBounded(label, brandLabel string, min float64) (float64, bool) {
+	width, known := d.brandWidths[brandLabel]
+	if !known {
+		width = utf8.RuneCountInString(brandLabel) * glyph.CellWidth
+	}
+	if d.scratch == nil || label != d.scratchLabel || width != d.scratchWidth {
+		d.scratch = d.renderer.RenderWidthInto(d.scratch, label, width)
+		d.scratchLabel = label
+		d.scratchWidth = width
+	}
+	if known {
+		v, ok, err := d.cmp.IndexRefBounded(d.brandRefs[brandLabel], d.scratch, min)
+		if err != nil {
+			return -1, false
+		}
+		return v, ok
+	}
+	d.scratchRef = d.renderer.RenderWidthInto(d.scratchRef, brandLabel, width)
+	v, err := d.cmp.Index(d.scratchRef, d.scratch)
+	if err != nil {
+		return -1, false
+	}
+	return v, v >= min
+}
+
 // DetectOne checks a single domain (ACE or Unicode form) against the brand
 // set and returns the best match at or above the threshold.
 func (d *HomographDetector) DetectOne(domain string) (HomographMatch, bool) {

@@ -91,21 +91,33 @@ func (d *HomographDetector) Index() *candidx.Index { return d.index }
 // strict-greater tracking as the sweep, and apply the same threshold
 // decision. Candidates arrive sorted ascending, so the first-at-max
 // tie-break is preserved.
+//
+// Rescoring runs through ScoreBounded with the floor max(threshold,
+// best): a candidate can only change the verdict by scoring at least the
+// threshold AND strictly above the best exact score so far, so any
+// candidate the bounded kernel proves below the floor is skipped without
+// finishing its window sweep. Scores at or above the floor come back
+// bit-identical to Score, so the returned match — brand, SSIM and
+// first-at-max tie-break — is unchanged from the full-rescore path (the
+// sweep-equivalence property tests pin this).
 func (d *HomographDetector) detectIndexed(n NormalizedDomain) (HomographMatch, bool) {
 	label := n.Label
 	if d.probe == nil {
 		d.probe = &candidx.Probe{}
 	}
 	best := HomographMatch{Domain: n.ACE, Unicode: n.Unicode, SSIM: -1}
+	floor := d.threshold
 	labelLen := utf8.RuneCountInString(label)
 	for _, id := range d.index.Candidates(label, d.probe) {
 		i := int(id)
 		if diff := labelLen - d.brandLens[i]; diff > 1 || diff < -1 {
 			continue
 		}
-		if score := d.Score(label, d.brandList[i].Label()); score > best.SSIM {
+		score, ok := d.ScoreBounded(label, d.brandList[i].Label(), floor)
+		if ok && score > best.SSIM {
 			best.SSIM = score
 			best.Brand = d.brandList[i].Domain
+			floor = score
 		}
 	}
 	if best.SSIM >= d.threshold {

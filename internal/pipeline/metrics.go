@@ -21,10 +21,27 @@ type Metrics struct {
 	Out uint64
 	// Errors counts Func invocations that returned an error.
 	Errors uint64
+	// Consumed counts items workers have finished with (processed,
+	// skipped on abort, or drained after cancellation). In − Consumed is
+	// the live backlog: items accepted from the source but not yet
+	// through a worker.
+	Consumed uint64
 	// Elapsed is the total wall time spent inside Stream/Collect.
 	Elapsed time.Duration
 	// Busy is the per-worker time spent inside Func calls.
 	Busy []time.Duration
+}
+
+// Backlog reports the queue depth at snapshot time: items accepted from
+// the source that no worker has finished with yet (buffered batches plus
+// items inside in-flight Func calls). A persistently high backlog on a
+// streaming stage means the workers, not the source, are the bottleneck
+// — the signal the watch tier uses for backpressure visibility.
+func (m Metrics) Backlog() uint64 {
+	if m.Consumed > m.In {
+		return 0
+	}
+	return m.In - m.Consumed
 }
 
 // Throughput reports input items per second of wall time.
@@ -56,6 +73,7 @@ func (m Metrics) Sub(prev Metrics) Metrics {
 	d.In -= prev.In
 	d.Out -= prev.Out
 	d.Errors -= prev.Errors
+	d.Consumed -= prev.Consumed
 	d.Elapsed -= prev.Elapsed
 	d.Busy = make([]time.Duration, len(m.Busy))
 	for i := range m.Busy {
@@ -76,6 +94,7 @@ type MetricsJSON struct {
 	In               uint64  `json:"in"`
 	Out              uint64  `json:"out"`
 	Errors           uint64  `json:"errors"`
+	Backlog          uint64  `json:"backlog"`
 	ElapsedMillis    float64 `json:"elapsedMillis"`
 	ThroughputPerSec float64 `json:"throughputPerSec"`
 	Utilization      float64 `json:"utilization"`
@@ -89,6 +108,7 @@ func (m Metrics) JSON() MetricsJSON {
 		In:               m.In,
 		Out:              m.Out,
 		Errors:           m.Errors,
+		Backlog:          m.Backlog(),
 		ElapsedMillis:    float64(m.Elapsed) / float64(time.Millisecond),
 		ThroughputPerSec: m.Throughput(),
 		Utilization:      m.Utilization(),
@@ -98,8 +118,8 @@ func (m Metrics) JSON() MetricsJSON {
 // String renders a one-line summary for -metrics output.
 func (m Metrics) String() string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "stage=%s workers=%d in=%d out=%d errors=%d elapsed=%s throughput=%.0f/s utilization=%.0f%%",
-		m.Stage, m.Workers, m.In, m.Out, m.Errors,
+	fmt.Fprintf(&sb, "stage=%s workers=%d in=%d out=%d errors=%d backlog=%d elapsed=%s throughput=%.0f/s utilization=%.0f%%",
+		m.Stage, m.Workers, m.In, m.Out, m.Errors, m.Backlog(),
 		m.Elapsed.Round(time.Millisecond), m.Throughput(), 100*m.Utilization())
 	return sb.String()
 }
@@ -109,9 +129,10 @@ func (m Metrics) String() string {
 type meter struct {
 	stage   string
 	workers int
-	in      atomic.Uint64
-	out     atomic.Uint64
-	errors  atomic.Uint64
+	in       atomic.Uint64
+	out      atomic.Uint64
+	errors   atomic.Uint64
+	consumed atomic.Uint64
 	elapsed atomic.Int64 // nanoseconds
 	busy    []atomic.Int64
 }
@@ -132,14 +153,18 @@ func (m *meter) addElapsed(d time.Duration) {
 }
 
 func (m *meter) snapshot() Metrics {
+	// consumed is read before in: it only ever trails in, so this order
+	// guarantees the snapshot never shows Consumed > In mid-scan.
+	consumed := m.consumed.Load()
 	s := Metrics{
-		Stage:   m.stage,
-		Workers: m.workers,
-		In:      m.in.Load(),
-		Out:     m.out.Load(),
-		Errors:  m.errors.Load(),
-		Elapsed: time.Duration(m.elapsed.Load()),
-		Busy:    make([]time.Duration, len(m.busy)),
+		Stage:    m.stage,
+		Workers:  m.workers,
+		Consumed: consumed,
+		In:       m.in.Load(),
+		Out:      m.out.Load(),
+		Errors:   m.errors.Load(),
+		Elapsed:  time.Duration(m.elapsed.Load()),
+		Busy:     make([]time.Duration, len(m.busy)),
 	}
 	for i := range m.busy {
 		s.Busy[i] = time.Duration(m.busy[i].Load())

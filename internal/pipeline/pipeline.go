@@ -247,7 +247,11 @@ func (e *Engine[T, R, W]) Stream(ctx context.Context, src Source[T], sink func(R
 			)
 			for j := range jobs {
 				if runCtx.Err() != nil {
-					continue // drain without processing
+					// Drain without processing — still counted as
+					// consumed so the backlog gauge returns to zero
+					// after cancellation.
+					e.m.consumed.Add(uint64(len(j.items)))
+					continue
 				}
 				if !built {
 					state = e.newWorker()
@@ -273,6 +277,7 @@ func (e *Engine[T, R, W]) Stream(ctx context.Context, src Source[T], sink func(R
 					}
 				}
 				e.m.addBusy(id, time.Since(t0))
+				e.m.consumed.Add(uint64(len(j.items)))
 				if aborted {
 					continue
 				}

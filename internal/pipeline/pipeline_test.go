@@ -301,3 +301,75 @@ func assertNoLeakedGoroutines(t *testing.T, before int) {
 	}
 	t.Fatalf("goroutines leaked: %d before, %d after settle", before, now)
 }
+
+// TestBacklogGauge: while workers are gated, the backlog gauge shows the
+// items accepted but not yet consumed; once the gate opens and the scan
+// completes, the backlog returns to exactly zero.
+func TestBacklogGauge(t *testing.T) {
+	gate := make(chan struct{})
+	var entered atomic.Int32
+	eng := New(Config{Stage: "gated", Workers: 2, Batch: 1, Buffer: 4},
+		func() struct{} { return struct{}{} },
+		func(_ struct{}, n int) (int, bool, error) {
+			entered.Add(1)
+			<-gate
+			return n, true, nil
+		})
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := eng.Collect(context.Background(), FromSlice(ints(32)))
+		done <- err
+	}()
+
+	// Wait until both workers are parked inside Func and the buffered
+	// queue behind them has filled.
+	deadline := time.Now().Add(5 * time.Second)
+	for entered.Load() < 2 || eng.Metrics().Backlog() < 3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("backlog never built up: entered=%d metrics=%+v", entered.Load(), eng.Metrics())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	m := eng.Metrics()
+	if m.Backlog() == 0 || m.Consumed > m.In {
+		t.Fatalf("mid-scan snapshot inconsistent: %+v", m)
+	}
+	if j := m.JSON(); j.Backlog != m.Backlog() {
+		t.Fatalf("JSON backlog %d != %d", j.Backlog, m.Backlog())
+	}
+
+	close(gate)
+	if err := <-done; err != nil {
+		t.Fatalf("Collect: %v", err)
+	}
+	m = eng.Metrics()
+	if m.Backlog() != 0 {
+		t.Fatalf("backlog after completion = %d, want 0 (in=%d consumed=%d)", m.Backlog(), m.In, m.Consumed)
+	}
+	if m.In != 32 || m.Consumed != 32 {
+		t.Fatalf("in=%d consumed=%d, want 32/32", m.In, m.Consumed)
+	}
+}
+
+// TestBacklogDrainsOnCancel: cancellation mid-scan must still account
+// every accepted item as consumed via the drain path, so the gauge does
+// not stick at a nonzero value after an aborted run.
+func TestBacklogDrainsOnCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	eng := New(Config{Stage: "cancelled", Workers: 2, Batch: 1, Buffer: 4},
+		func() struct{} { return struct{}{} },
+		func(_ struct{}, n int) (int, bool, error) {
+			if n == 3 {
+				cancel()
+			}
+			return n, true, nil
+		})
+	_, err := eng.Collect(ctx, FromSlice(ints(1000)))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if m := eng.Metrics(); m.Backlog() != 0 {
+		t.Fatalf("backlog after cancelled run = %d (in=%d consumed=%d), want 0", m.Backlog(), m.In, m.Consumed)
+	}
+}

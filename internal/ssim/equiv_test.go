@@ -263,3 +263,75 @@ func TestIndexZeroAllocSteadyState(t *testing.T) {
 		t.Errorf("steady-state Index+MSE allocates %v per run, want 0", allocs)
 	}
 }
+
+// TestIndexRefBoundedContract pins the early-exit kernel's two-sided
+// contract against IndexRef on random images, similar pairs (mostly
+// identical pixels, so scores land near 1 where the floors bite), and
+// every degenerate shape: ok=true must come with a bit-identical score
+// ≥ floor, ok=false must only ever happen when the exact score is
+// strictly below the floor.
+func TestIndexRefBoundedContract(t *testing.T) {
+	floors := []float64{-2, 0, 0.5, 0.9, 0.95, 0.98, 0.999, 1, 1.5}
+	for _, seed := range []int64{1, 9, 2018} {
+		r := rand.New(rand.NewSource(seed))
+		for _, sz := range equivSizes {
+			a := randomGray(r, sz[0], sz[1])
+			for _, mode := range []string{"random", "similar"} {
+				var b *image.Gray
+				if mode == "random" {
+					b = randomGray(r, sz[0], sz[1])
+				} else {
+					b = image.NewGray(a.Rect)
+					copy(b.Pix, a.Pix)
+					for i := 0; i < len(b.Pix)/37; i++ {
+						b.Pix[r.Intn(len(b.Pix))] ^= byte(r.Intn(256))
+					}
+				}
+				for _, win := range []int{2, 8} {
+					c := New(win)
+					exact, errE := c.IndexRef(Precompute(a), b)
+					for _, floor := range floors {
+						got, ok, err := New(win).IndexRefBounded(Precompute(a), b, floor)
+						if (err == nil) != (errE == nil) {
+							t.Fatalf("size %v floor %v: error mismatch %v vs %v", sz, floor, err, errE)
+						}
+						if err != nil {
+							continue
+						}
+						if ok {
+							if got != exact {
+								t.Fatalf("size %v win %d floor %v: ok but %v != exact %v", sz, win, floor, got, exact)
+							}
+							if got < floor {
+								t.Fatalf("size %v win %d floor %v: ok with score %v below floor", sz, win, floor, got)
+							}
+						} else if !(exact < floor) {
+							t.Fatalf("size %v win %d floor %v: early exit but exact %v >= floor", sz, win, floor, exact)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestIndexRefBoundedZeroAlloc: the bounded path must stay on the
+// comparator's scratch like IndexRef does.
+func TestIndexRefBoundedZeroAlloc(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	a := randomGray(r, 96, 15)
+	b := randomGray(r, 96, 15)
+	c := New(DefaultWindow)
+	rt := Precompute(a)
+	if _, _, err := c.IndexRefBounded(rt, b, 0.98); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, _, err := c.IndexRefBounded(rt, b, 0.98); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("IndexRefBounded allocates %v per call", allocs)
+	}
+}

@@ -164,7 +164,35 @@ func (c *Comparator) indexPacked(a, b *image.Gray, w, h, win int) float64 {
 // tA, tB and the cross table tX, averaging windowStat. Shared by
 // indexPacked and IndexRef so both are bit-identical by construction.
 func packedWindows(tA, tB, tX []uint64, stride, w, h, win int, c1, c2 float64) float64 {
+	v, _ := packedWindowsBounded(tA, tB, tX, stride, w, h, win, c1, c2, math.Inf(-1))
+	return v
+}
+
+// boundSlack credits a not-yet-swept window with slightly more than the
+// mathematical per-window maximum of 1 when deciding whether the mean
+// can still reach a floor: windowStat's two factors are each ≤ 1 in
+// exact arithmetic, but the computed value can exceed 1 by an ulp, and
+// an early exit must only ever fire on a sweep whose exact final mean is
+// strictly below the floor.
+const boundSlack = 1 + 1e-7
+
+// packedWindowsBounded is packedWindows with an early-exit floor: after
+// each row of windows it checks whether crediting every remaining window
+// with boundSlack could still lift the mean to floor; if not, the sweep
+// stops and the second result is false, guaranteeing the full mean would
+// be strictly below floor. When it returns true the first result is
+// bit-identical to packedWindows' — the accumulation order is identical
+// and the exit test is conservative on both the per-window bound and the
+// threshold comparison (a relative margin covers the final division's
+// rounding).
+func packedWindowsBounded(tA, tB, tX []uint64, stride, w, h, win int, c1, c2, floor float64) (float64, bool) {
 	invN := 1 / float64(win*win)
+	// After clamping win ≤ min(w, h) both sweep loops execute at least
+	// once, so rows, cols ≥ 1 always.
+	rows, cols := h-win+1, w-win+1
+	total := rows * cols
+	need := floor * float64(total)
+	margin := math.Abs(need) * 1e-12
 	var sum float64
 	var count int
 	for y := 0; y+win <= h; y++ {
@@ -185,10 +213,12 @@ func packedWindows(tA, tB, tX []uint64, stride, w, h, win int, c1, c2 float64) f
 				float64(sx), invN, c1, c2)
 			count++
 		}
+		if rem := total - count; rem > 0 && sum+float64(rem)*boundSlack+margin < need {
+			return sum / float64(total), false
+		}
 	}
-	// After clamping win ≤ min(w, h) both loops execute at least once, so
-	// count ≥ 1 always.
-	return sum / float64(count)
+	v := sum / float64(count)
+	return v, v >= floor
 }
 
 // RefTable holds the precomputed summed-area statistics (packed Σx, Σx²)
@@ -272,6 +302,53 @@ func (c *Comparator) IndexRef(rt *RefTable, b *image.Gray) (float64, error) {
 		}
 	}
 	return packedWindows(rt.t, tB, tX, stride, w, h, win, c.c1, c.c2), nil
+}
+
+// IndexRefBounded is IndexRef with an early-exit floor for scans that
+// only care about scores at or above floor — the candidate-rescore loop of
+// index-backed homograph detection, where most candidates fall well
+// short of the detection threshold and the full window sweep is wasted
+// on proving exactly how short. It returns (score, true) with score
+// bit-identical to IndexRef's when the index is at least floor; otherwise
+// (partial, false), guaranteeing the exact index is strictly below floor.
+func (c *Comparator) IndexRefBounded(rt *RefTable, b *image.Gray, floor float64) (float64, bool, error) {
+	if rt.w != b.Rect.Dx() || rt.h != b.Rect.Dy() {
+		return 0, false, ErrSizeMismatch
+	}
+	if rt.t == nil {
+		v, err := c.Index(rt.img, b) // empty or wide: shared fallback paths
+		return v, err == nil && v >= floor, err
+	}
+	w, h := rt.w, rt.h
+	win := min(c.window, w, h)
+	stride := w + 1
+	n := stride * (h + 1)
+	buf := c.scratch(2 * n)
+	tB := buf[0*n : 1*n]
+	tX := buf[1*n : 2*n]
+	for x := 0; x < stride; x++ {
+		tB[x], tX[x] = 0, 0
+	}
+	for y := 0; y < h; y++ {
+		rowA := rt.img.Pix[y*rt.img.Stride : y*rt.img.Stride+w]
+		rowB := b.Pix[y*b.Stride : y*b.Stride+w]
+		prevB := tB[y*stride : (y+1)*stride]
+		curB := tB[(y+1)*stride : (y+2)*stride]
+		prevX := tX[y*stride : (y+1)*stride]
+		curX := tX[(y+1)*stride : (y+2)*stride]
+		curB[0], curX[0] = 0, 0
+		var rb, rx uint64
+		for x := 0; x < w; x++ {
+			pa := uint64(rowA[x])
+			pb := uint64(rowB[x])
+			rb += pb | (pb*pb)<<32
+			rx += pa * pb
+			curB[x+1] = prevB[x+1] + rb
+			curX[x+1] = prevX[x+1] + rx
+		}
+	}
+	v, ok := packedWindowsBounded(rt.t, tB, tX, stride, w, h, win, c.c1, c.c2, floor)
+	return v, ok, nil
 }
 
 // IndexRefSub computes Index(rt.Ref(), b) for a candidate b that is known

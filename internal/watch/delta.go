@@ -1,0 +1,221 @@
+// Package watch is the streaming zone-delta tier: it parses day-over-day
+// zone deltas (IXFR-style master files, the format internal/zonegen
+// emits), matches every changed name against a standing table of
+// per-brand subscriptions compiled through the candidate index, and
+// hands confirmed findings to a durable alert log. The design goal is
+// that a single node saturates on delta I/O, not on matching: the hot
+// loop is a handful of O(1) hash probes with zero allocations
+// steady-state, never an O(subscriptions) sweep.
+package watch
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"idnlab/internal/zonefile"
+)
+
+// Op classifies one delta operation.
+type Op uint8
+
+const (
+	// OpAdd is a new registration.
+	OpAdd Op = iota
+	// OpDrop is a deleted registration.
+	OpDrop
+	// OpNSChange is a re-delegation: same owner, new name servers.
+	OpNSChange
+)
+
+// String returns the op mnemonic.
+func (o Op) String() string {
+	switch o {
+	case OpAdd:
+		return "add"
+	case OpDrop:
+		return "drop"
+	case OpNSChange:
+		return "nschange"
+	}
+	return "unknown"
+}
+
+// Event is one parsed delta operation: a single owner changed in a
+// single zone. Owner is the registered label in wire (ACE) form, Origin
+// the zone it changed in.
+type Event struct {
+	Serial uint32
+	Op     Op
+	Owner  string
+	Origin string
+	NS     string // new NS target (add, nschange)
+	OldNS  string // previous NS target (drop, nschange)
+}
+
+// Domain returns the fully qualified name without the trailing dot.
+func (e Event) Domain() string { return e.Owner + "." + e.Origin }
+
+// Delta is one parsed day-over-day zone delta: every event from every
+// zone section of one delta file, in file order (per zone: drops, then
+// NS changes, then adds — the order the generator commits them).
+type Delta struct {
+	Serial uint32
+	Events []Event
+}
+
+// zoneAccum collects one zone's IXFR sections while scanning.
+type zoneAccum struct {
+	origin   string
+	serial   uint32
+	soaCount int
+	delOrder []string
+	dels     map[string]string // owner -> old NS target
+	addOrder []string
+	adds     map[string]string // owner -> new NS target
+}
+
+// nsTarget strips the ns1./ns2. host prefix and the trailing dot from an
+// NS record's data, leaving the provider zone ("dns-host.net"). Unknown
+// shapes are passed through un-stripped rather than rejected: the
+// matcher only needs a stable token per provider.
+func nsTarget(data string) string {
+	data = strings.TrimSuffix(data, ".")
+	if rest, ok := strings.CutPrefix(data, "ns1."); ok {
+		return rest
+	}
+	if rest, ok := strings.CutPrefix(data, "ns2."); ok {
+		return rest
+	}
+	return data
+}
+
+// soaSerial extracts the serial (third field) from SOA record data.
+func soaSerial(data string) (uint32, error) {
+	fields := strings.Fields(data)
+	if len(fields) != 7 {
+		return 0, fmt.Errorf("watch: malformed SOA data %q", data)
+	}
+	n, err := strconv.ParseUint(fields[2], 10, 32)
+	if err != nil {
+		return 0, fmt.Errorf("watch: bad SOA serial %q: %w", fields[2], err)
+	}
+	return uint32(n), nil
+}
+
+// flush classifies the accumulated zone sections into events: an owner
+// present in both sections is an NS change, deletion-only owners are
+// drops, addition-only owners are adds. Events are appended in the
+// generator's commit order (deletion section order first, then
+// remaining additions), which keeps parse → replay byte-deterministic.
+func (z *zoneAccum) flush(events []Event) ([]Event, error) {
+	if z == nil || z.soaCount == 0 {
+		return events, nil
+	}
+	if z.soaCount != 3 {
+		return events, fmt.Errorf("watch: zone %s: %d SOA records, want 3 (header, old, new)", z.origin, z.soaCount)
+	}
+	for _, owner := range z.delOrder {
+		old := z.dels[owner]
+		if ns, changed := z.adds[owner]; changed {
+			events = append(events, Event{Serial: z.serial, Op: OpNSChange, Owner: owner, Origin: z.origin, NS: ns, OldNS: old})
+		} else {
+			events = append(events, Event{Serial: z.serial, Op: OpDrop, Owner: owner, Origin: z.origin, OldNS: old})
+		}
+	}
+	for _, owner := range z.addOrder {
+		if _, wasDel := z.dels[owner]; wasDel {
+			continue // already emitted as an NS change
+		}
+		events = append(events, Event{Serial: z.serial, Op: OpAdd, Owner: owner, Origin: z.origin, NS: z.adds[owner]})
+	}
+	return events, nil
+}
+
+// ParseDelta reads one serialized zone delta (the format DayDelta.WriteTo
+// emits — plain RFC 1035 master syntax with IXFR-style SOA sentinels)
+// and reconstructs its events. The parser is strict about structure —
+// exactly three SOAs per zone, old serial = new−1, a single serial
+// across zones — because the alert log's replay guarantees lean on the
+// delta stream being well-formed; anything malformed is an error, never
+// a panic.
+func ParseDelta(r io.Reader) (*Delta, error) {
+	s := zonefile.NewScanner(r)
+	d := &Delta{}
+	var cur *zoneAccum
+	for s.Next() {
+		rec := s.Record()
+		origin := s.Origin()
+		if origin == "" {
+			return nil, fmt.Errorf("watch: record %s %s before $ORIGIN", rec.Owner, rec.Type)
+		}
+		if cur == nil || cur.origin != origin {
+			var err error
+			if d.Events, err = cur.flush(d.Events); err != nil {
+				return nil, err
+			}
+			cur = &zoneAccum{
+				origin: origin,
+				dels:   make(map[string]string),
+				adds:   make(map[string]string),
+			}
+		}
+		switch rec.Type {
+		case "SOA":
+			serial, err := soaSerial(rec.Data)
+			if err != nil {
+				return nil, err
+			}
+			cur.soaCount++
+			switch cur.soaCount {
+			case 1: // header: the delta's new serial
+				cur.serial = serial
+				if d.Serial == 0 {
+					d.Serial = serial
+				} else if serial != d.Serial {
+					return nil, fmt.Errorf("watch: zone %s serial %d differs from delta serial %d", origin, serial, d.Serial)
+				}
+			case 2: // deletion section: the previous serial
+				if serial != cur.serial-1 {
+					return nil, fmt.Errorf("watch: zone %s deletion serial %d, want %d", origin, serial, cur.serial-1)
+				}
+			case 3: // addition section: the new serial again
+				if serial != cur.serial {
+					return nil, fmt.Errorf("watch: zone %s addition serial %d, want %d", origin, serial, cur.serial)
+				}
+			default:
+				return nil, fmt.Errorf("watch: zone %s: more than 3 SOA records", origin)
+			}
+		case "NS":
+			target := nsTarget(rec.Data)
+			switch cur.soaCount {
+			case 2:
+				if _, dup := cur.dels[rec.Owner]; !dup {
+					cur.dels[rec.Owner] = target
+					cur.delOrder = append(cur.delOrder, rec.Owner)
+				}
+			case 3:
+				if _, dup := cur.adds[rec.Owner]; !dup {
+					cur.adds[rec.Owner] = target
+					cur.addOrder = append(cur.addOrder, rec.Owner)
+				}
+			default:
+				return nil, fmt.Errorf("watch: zone %s: NS record for %s outside IXFR sections", origin, rec.Owner)
+			}
+		default:
+			return nil, fmt.Errorf("watch: zone %s: unexpected %s record in delta", origin, rec.Type)
+		}
+	}
+	if err := s.Err(); err != nil {
+		return nil, fmt.Errorf("watch: scan delta: %w", err)
+	}
+	var err error
+	if d.Events, err = cur.flush(d.Events); err != nil {
+		return nil, err
+	}
+	if cur == nil {
+		return nil, fmt.Errorf("watch: empty delta")
+	}
+	return d, nil
+}

@@ -1,0 +1,233 @@
+package watch
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Cursor is the daemon's durable progress marker: the highest delta
+// serial whose alerts are on stable storage, and the alert-log offset
+// at that point. The update protocol is alerts-first: the runner
+// appends and Sync()s every alert from a delta, then persists the
+// cursor. A crash between the two replays the whole delta on restart —
+// duplicate alerts, never lost ones (at-least-once), and duplicates
+// carry the same (serial, domain) keys so consumers can drop them.
+type Cursor struct {
+	Serial    uint32 `json:"serial"`
+	LogOffset int64  `json:"logOffset"`
+}
+
+// LoadCursor reads a cursor file; a missing file is a zero cursor (run
+// from the beginning), any other failure is an error.
+func LoadCursor(path string) (Cursor, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return Cursor{}, nil
+	}
+	if err != nil {
+		return Cursor{}, err
+	}
+	var c Cursor
+	if err := json.Unmarshal(data, &c); err != nil {
+		return Cursor{}, fmt.Errorf("watch: corrupt cursor %s: %w", path, err)
+	}
+	return c, nil
+}
+
+// SaveCursor writes the cursor atomically (temp file + rename + fsync)
+// so a crash mid-save leaves the previous cursor intact.
+func SaveCursor(path string, c Cursor) error {
+	data, err := json.Marshal(c)
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// ParseDeltaFileName extracts the serial from a delta file name of the
+// form "delta-0000000001.zone" (the shape zonegen emits).
+func ParseDeltaFileName(name string) (uint32, bool) {
+	rest, ok := strings.CutPrefix(name, "delta-")
+	if !ok {
+		return 0, false
+	}
+	rest, ok = strings.CutSuffix(rest, ".zone")
+	if !ok || len(rest) == 0 {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(rest, 10, 32)
+	if err != nil {
+		return 0, false
+	}
+	return uint32(n), true
+}
+
+// Runner ties the pieces into the daemon's main loop: tail a directory
+// of delta files, stream each new one through the engine, append the
+// alerts durably, advance the cursor.
+type Runner struct {
+	Engine     *Engine
+	Log        *AlertLog
+	Dir        string // delta directory to tail
+	CursorPath string // cursor file; empty disables persistence
+
+	cursor Cursor
+	loaded bool
+}
+
+// Cursor returns the runner's current in-memory cursor.
+func (r *Runner) Cursor() Cursor { return r.cursor }
+
+// init loads the persisted cursor on first use.
+func (r *Runner) init() error {
+	if r.loaded {
+		return nil
+	}
+	if r.CursorPath != "" {
+		c, err := LoadCursor(r.CursorPath)
+		if err != nil {
+			return err
+		}
+		r.cursor = c
+	}
+	r.loaded = true
+	return nil
+}
+
+// pendingFiles lists delta files in Dir with serials above the cursor,
+// in serial order.
+func (r *Runner) pendingFiles() ([]string, error) {
+	entries, err := os.ReadDir(r.Dir)
+	if err != nil {
+		return nil, err
+	}
+	type pf struct {
+		serial uint32
+		path   string
+	}
+	var files []pf
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		serial, ok := ParseDeltaFileName(e.Name())
+		if !ok || serial <= r.cursor.Serial {
+			continue
+		}
+		files = append(files, pf{serial, filepath.Join(r.Dir, e.Name())})
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].serial < files[j].serial })
+	out := make([]string, len(files))
+	for i, f := range files {
+		out[i] = f.path
+	}
+	return out, nil
+}
+
+// ProcessFile streams one delta file end to end: parse, match, append
+// every alert, Sync the log, then advance and persist the cursor.
+// Returns the number of alerts the delta produced.
+func (r *Runner) ProcessFile(ctx context.Context, path string) (int, error) {
+	if err := r.init(); err != nil {
+		return 0, err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	d, err := ParseDelta(f)
+	f.Close()
+	if err != nil {
+		return 0, fmt.Errorf("%s: %w", path, err)
+	}
+	alerts := 0
+	err = r.Engine.ProcessDelta(ctx, d, func(a Alert) error {
+		alerts++
+		return r.Log.Append(a)
+	})
+	if err != nil {
+		return alerts, err
+	}
+	// Durability barrier before the cursor moves: this ordering is the
+	// at-least-once guarantee.
+	if err := r.Log.Sync(); err != nil {
+		return alerts, err
+	}
+	r.cursor = Cursor{Serial: d.Serial, LogOffset: r.Log.Size()}
+	if r.CursorPath != "" {
+		if err := SaveCursor(r.CursorPath, r.cursor); err != nil {
+			return alerts, err
+		}
+	}
+	return alerts, nil
+}
+
+// Poll processes every pending delta file once, in serial order.
+// Returns the number of files processed and the number of alerts.
+func (r *Runner) Poll(ctx context.Context) (files, alerts int, err error) {
+	if err := r.init(); err != nil {
+		return 0, 0, err
+	}
+	paths, err := r.pendingFiles()
+	if err != nil {
+		return 0, 0, err
+	}
+	for _, p := range paths {
+		if ctx.Err() != nil {
+			return files, alerts, ctx.Err()
+		}
+		n, err := r.ProcessFile(ctx, p)
+		alerts += n
+		if err != nil {
+			return files, alerts, err
+		}
+		files++
+	}
+	return files, alerts, nil
+}
+
+// Run polls until the context is cancelled, sleeping interval between
+// empty polls. Cancellation between files is clean: the current file
+// finishes (or aborts via the pipeline's own drain path) before Run
+// returns ctx.Err().
+func (r *Runner) Run(ctx context.Context, interval time.Duration) error {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		if _, _, err := r.Poll(ctx); err != nil {
+			return err
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-t.C:
+		}
+	}
+}

@@ -1,0 +1,263 @@
+package zonegen
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"idnlab/internal/idna"
+	"idnlab/internal/zonefile"
+)
+
+// deltaStreamBytes renders days 1..days for one seed, as the
+// concatenated file-by-file byte stream the watch daemon would consume.
+func deltaStreamBytes(t *testing.T, seed uint64, days int) []byte {
+	t.Helper()
+	reg := Generate(Config{Seed: seed, Scale: 400})
+	gen := reg.DeltaStream(DeltaConfig{})
+	var buf bytes.Buffer
+	for i := 0; i < days; i++ {
+		d := gen.Next()
+		if d.Serial != SerialBase+uint32(i+1) {
+			t.Fatalf("day %d: serial = %d, want %d", i+1, d.Serial, SerialBase+uint32(i+1))
+		}
+		if _, err := d.WriteTo(&buf); err != nil {
+			t.Fatalf("WriteTo: %v", err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// TestDeltaDeterminism: the same seed must produce a byte-identical
+// delta stream (the watch tier's replay-equality tests depend on it),
+// and a different seed must not.
+func TestDeltaDeterminism(t *testing.T) {
+	a := deltaStreamBytes(t, 7, 3)
+	b := deltaStreamBytes(t, 7, 3)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same seed produced different delta streams (%d vs %d bytes)", len(a), len(b))
+	}
+	c := deltaStreamBytes(t, 8, 3)
+	if bytes.Equal(a, c) {
+		t.Fatal("different seeds produced identical delta streams")
+	}
+}
+
+// TestDeltaGolden pins the exact serialized form of day 1 for a fixed
+// seed. If the generator or the writer changes shape, this fails and the
+// golden file must be consciously regenerated (UPDATE_GOLDEN=1).
+func TestDeltaGolden(t *testing.T) {
+	reg := Generate(Config{Seed: 11, Scale: 1000})
+	gen := reg.DeltaStream(DeltaConfig{AddsPerDay: 8, DropsPerDay: 2, NSChangesPerDay: 2})
+	var buf bytes.Buffer
+	if _, err := gen.Next().WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	golden := filepath.Join("testdata", "delta_day1.golden")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatalf("update golden: %v", err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("day-1 delta diverged from golden\n got:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+// parsedZone reconstructs one zone's IXFR sections from Scanner records.
+type parsedZone struct {
+	serial   uint32
+	soaCount int
+	dels     map[string]string // owner -> first deleted NS target
+	adds     map[string]string // owner -> first added NS target
+}
+
+// parseDeltaWithScanner re-reads a serialized delta through the ordinary
+// zonefile.Scanner — no special delta parser — and splits each zone's
+// records into deletion and addition sections using the SOA sentinels.
+func parseDeltaWithScanner(t *testing.T, data []byte) map[string]*parsedZone {
+	t.Helper()
+	s := zonefile.NewScanner(bytes.NewReader(data))
+	zones := make(map[string]*parsedZone)
+	for s.Next() {
+		rec := s.Record()
+		origin := s.Origin()
+		if origin == "" {
+			t.Fatalf("record before $ORIGIN: %+v", rec)
+		}
+		z, ok := zones[origin]
+		if !ok {
+			z = &parsedZone{dels: make(map[string]string), adds: make(map[string]string)}
+			zones[origin] = z
+		}
+		switch rec.Type {
+		case "SOA":
+			fields := strings.Fields(rec.Data)
+			if len(fields) != 7 {
+				t.Fatalf("malformed SOA %q", rec.Data)
+			}
+			serial, err := strconv.ParseUint(fields[2], 10, 32)
+			if err != nil {
+				t.Fatalf("bad SOA serial %q: %v", fields[2], err)
+			}
+			z.soaCount++
+			switch z.soaCount {
+			case 1: // header carries the new serial
+				z.serial = uint32(serial)
+			case 2: // old serial — the deletion section follows
+				if uint32(serial) != z.serial-1 {
+					t.Fatalf("zone %s: deletion-section serial %d, want %d", origin, serial, z.serial-1)
+				}
+			case 3: // new serial again — the addition section follows
+				if uint32(serial) != z.serial {
+					t.Fatalf("zone %s: addition-section serial %d, want %d", origin, serial, z.serial)
+				}
+			default:
+				t.Fatalf("zone %s: unexpected %dth SOA", origin, z.soaCount)
+			}
+		case "NS":
+			target := strings.TrimSuffix(strings.TrimPrefix(rec.Data, "ns1."), ".")
+			target = strings.TrimPrefix(target, "ns2.")
+			switch z.soaCount {
+			case 2:
+				if _, dup := z.dels[rec.Owner]; !dup {
+					z.dels[rec.Owner] = target
+				}
+			case 3:
+				if _, dup := z.adds[rec.Owner]; !dup {
+					z.adds[rec.Owner] = target
+				}
+			default:
+				t.Fatalf("NS record outside IXFR sections: %+v", rec)
+			}
+		}
+	}
+	if err := s.Err(); err != nil {
+		t.Fatalf("scanner: %v", err)
+	}
+	return zones
+}
+
+// TestDeltaRoundTrip: every generated operation must be recoverable from
+// the serialized text via zonefile.Scanner — adds appear only in the
+// addition section, drops only in the deletion section, NS changes in
+// both with the old and new targets.
+func TestDeltaRoundTrip(t *testing.T) {
+	reg := Generate(Config{Seed: 3, Scale: 400})
+	gen := reg.DeltaStream(DeltaConfig{AddsPerDay: 40, DropsPerDay: 12, NSChangesPerDay: 9})
+	for day := 1; day <= 3; day++ {
+		d := gen.Next()
+		var buf bytes.Buffer
+		if _, err := d.WriteTo(&buf); err != nil {
+			t.Fatalf("WriteTo: %v", err)
+		}
+		zones := parseDeltaWithScanner(t, buf.Bytes())
+		if len(zones) != len(d.Zones) {
+			t.Fatalf("day %d: parsed %d zones, generated %d", day, len(zones), len(d.Zones))
+		}
+		for _, zd := range d.Zones {
+			z := zones[zd.Origin]
+			if z == nil {
+				t.Fatalf("day %d: zone %s missing from parse", day, zd.Origin)
+			}
+			if z.serial != d.Serial {
+				t.Errorf("day %d zone %s: serial %d, want %d", day, zd.Origin, z.serial, d.Serial)
+			}
+			for _, rec := range zd.Records {
+				switch rec.Op {
+				case DeltaAdd:
+					if got := z.adds[rec.Owner]; got != rec.NS {
+						t.Errorf("add %s.%s: parsed NS %q, want %q", rec.Owner, zd.Origin, got, rec.NS)
+					}
+					if _, inDel := z.dels[rec.Owner]; inDel {
+						t.Errorf("add %s.%s also present in deletion section", rec.Owner, zd.Origin)
+					}
+				case DeltaDrop:
+					if got := z.dels[rec.Owner]; got != rec.OldNS {
+						t.Errorf("drop %s.%s: parsed NS %q, want %q", rec.Owner, zd.Origin, got, rec.OldNS)
+					}
+					if _, inAdd := z.adds[rec.Owner]; inAdd {
+						t.Errorf("drop %s.%s also present in addition section", rec.Owner, zd.Origin)
+					}
+				case DeltaNSChange:
+					if got := z.dels[rec.Owner]; got != rec.OldNS {
+						t.Errorf("nschange %s.%s: deletion NS %q, want old %q", rec.Owner, zd.Origin, got, rec.OldNS)
+					}
+					if got := z.adds[rec.Owner]; got != rec.NS {
+						t.Errorf("nschange %s.%s: addition NS %q, want new %q", rec.Owner, zd.Origin, got, rec.NS)
+					}
+				}
+			}
+			// Section counts match exactly: no phantom records.
+			wantDel, wantAdd := 0, 0
+			for _, rec := range zd.Records {
+				switch rec.Op {
+				case DeltaDrop:
+					wantDel++
+				case DeltaAdd:
+					wantAdd++
+				case DeltaNSChange:
+					wantDel++
+					wantAdd++
+				}
+			}
+			if len(z.dels) != wantDel || len(z.adds) != wantAdd {
+				t.Errorf("day %d zone %s: parsed %d dels/%d adds, want %d/%d",
+					day, zd.Origin, len(z.dels), len(z.adds), wantDel, wantAdd)
+			}
+		}
+	}
+}
+
+// TestDeltaChurnSemantics: the live set evolves consistently — drops
+// shrink it, adds grow it, attack adds are valid IDN registrations of
+// their target brand's confusable variant.
+func TestDeltaChurnSemantics(t *testing.T) {
+	reg := Generate(Config{Seed: 5, Scale: 400})
+	gen := reg.DeltaStream(DeltaConfig{AddsPerDay: 30, DropsPerDay: 10, NSChangesPerDay: 5, AttackShare: 0.5})
+	before := gen.Live()
+	seen := make(map[string]struct{})
+	attacks := 0
+	for day := 1; day <= 5; day++ {
+		d := gen.Next()
+		adds, drops := 0, 0
+		for _, z := range d.Zones {
+			for _, rec := range z.Records {
+				name := rec.Owner + "." + z.Origin
+				switch rec.Op {
+				case DeltaAdd:
+					adds++
+					if _, dup := seen[name]; dup {
+						t.Errorf("day %d: %s registered twice", day, name)
+					}
+					seen[name] = struct{}{}
+					if rec.Attack != AttackNone {
+						attacks++
+						if rec.TargetBrand == "" {
+							t.Errorf("attack add %s has no target brand", name)
+						}
+						if !idna.IsACELabel(rec.Owner) {
+							t.Errorf("attack add %s is not an ACE label", rec.Owner)
+						}
+					}
+				case DeltaDrop:
+					drops++
+				}
+			}
+		}
+		if want := before + adds - drops; gen.Live() != want {
+			t.Fatalf("day %d: live = %d, want %d", day, gen.Live(), want)
+		}
+		before = gen.Live()
+	}
+	if attacks == 0 {
+		t.Fatal("no attack registrations generated at AttackShare=0.5")
+	}
+}
