@@ -25,8 +25,15 @@ INDEX_BENCH_PATTERN = ^(BenchmarkIndexLookup|BenchmarkDetectNormalized10k)$$
 # deltas/s floor — and allocs/op is exact at any benchtime).
 WATCH_BENCHTIME ?= 1s
 WATCH_BENCH_PATTERN = ^(BenchmarkWatchMatch1M|BenchmarkAlertLogAppend|BenchmarkDeltaParse)$$
+# Benchtime for bench-stat: 1s for publishable numbers; the CI smoke
+# uses 0.3s (a fixed iteration count would blow the budget on the
+# ~0.5s/op train benchmark, which rides along unguarded for
+# offline-cost visibility). Gates are absolute (0 allocs/op and >= 1M
+# classifications/s), so they hold at any benchtime.
+STAT_BENCHTIME ?= 1s
+STAT_BENCH_PATTERN = ^(BenchmarkStatClassify|BenchmarkStatClassifyNaive|BenchmarkStatTrain)$$
 
-.PHONY: all build vet test race bench bench-ssim bench-report bench-index bench-watch report fuzz fuzz-smoke serve-smoke serve-bench cluster-smoke cluster-bench index-smoke watch-smoke clean
+.PHONY: all build vet test race bench bench-ssim bench-report bench-index bench-watch bench-stat report fuzz fuzz-smoke serve-smoke serve-bench cluster-smoke cluster-bench index-smoke watch-smoke stat-smoke clean
 
 all: build vet test
 
@@ -95,6 +102,20 @@ bench-watch:
 	      -require-zero-allocs BenchmarkWatchMatch1M \
 	      -min-throughput BenchmarkWatchMatch1M=500000
 
+# Statistical-classifier benchmarks (PR 8): one label scored through the
+# zero-copy IDNSTAT1 model under serving conditions into BENCH_stat.json
+# (old = recorded map-based-scorer baseline). The measured prefilter
+# pass rate rides along as a custom pass/op metric. Exits non-zero if
+# the classify path allocates or drops below 1M classifications/s.
+# CI smoke: `make bench-stat STAT_BENCHTIME=0.3s`.
+bench-stat:
+	$(GO) test -run='^$$' -bench '$(STAT_BENCH_PATTERN)' -benchmem -benchtime=$(STAT_BENCHTIME) ./internal/feat/ \
+	  | $(GO) run ./cmd/benchjson \
+	      -baseline BENCH_baseline_stat.txt \
+	      -out BENCH_stat.json \
+	      -require-zero-allocs BenchmarkStatClassify \
+	      -min-throughput BenchmarkStatClassify=1000000
+
 # The full study: every table and figure at 1/100 of the paper's corpus.
 report:
 	$(GO) run ./cmd/idnreport -seed 2018 -scale 100
@@ -150,6 +171,14 @@ index-smoke:
 # then tails it as a daemon with /metrics and drains cleanly on SIGTERM.
 watch-smoke:
 	sh scripts/watch_smoke.sh
+
+# Statistical-classifier smoke (PR 8): idnzonegen emits the labeled CSV,
+# idnstat trains and gates the held-out eval (recall/pass-rate), idnserve
+# boots with -stat and the labeled attack set must come back with
+# ensemble verdicts, /metrics must expose the prefilter split, clean
+# SIGTERM drain.
+stat-smoke:
+	sh scripts/stat_smoke.sh
 
 # Reduced-budget fuzz pass for CI.
 fuzz-smoke:

@@ -25,6 +25,15 @@
 // reported separately from errors: shedding is the server working as
 // designed, errors are not.
 //
+// -mix weights the malicious (attack) populations into the replay
+// stream: with -mix 0.3, ~30% of requests draw uniformly from the
+// labeled attack domains (homograph/semantic splices) instead of the
+// zipfian corpus — the adversarial load shape that exercises the
+// statistical prefilter and the SSIM rescore path instead of the cache.
+// After the run the tool scrapes /metrics from every target and reports
+// the cache hit rate and the prefilter shed rate on separate lines: a
+// cache hit skips all detector work, a prefilter shed only the rescore.
+//
 // -smoke fires a fixed mixed single/batch/bad-input request set,
 // asserting status codes and verdict fields; it exits non-zero on any
 // deviation. The serve-smoke and cluster-smoke make targets wrap it
@@ -47,7 +56,9 @@ import (
 	"time"
 
 	"idnlab/internal/core"
+	"idnlab/internal/idna"
 	"idnlab/internal/simrand"
+	"idnlab/internal/zonegen"
 )
 
 func main() {
@@ -70,6 +81,7 @@ func run() error {
 		scale       = flag.Int("scale", 2000, "universe down-scaling divisor for the replay corpus")
 		timeout     = flag.Duration("timeout", 2*time.Second, "per-request client timeout")
 		backoffCap  = flag.Duration("backoff-cap", 2*time.Second, "cap on honored Retry-After sleeps (0 = ignore Retry-After)")
+		mix         = flag.Float64("mix", 0, "fraction of requests drawn from the malicious attack populations (0 = natural corpus mix)")
 		smoke       = flag.Bool("smoke", false, "run the deterministic smoke request set and exit")
 		maxBatch    = flag.Int("max-batch", 256, "server's configured batch cap (smoke oversize probe)")
 	)
@@ -92,6 +104,7 @@ func run() error {
 		scale:       *scale,
 		timeout:     *timeout,
 		backoffCap:  *backoffCap,
+		mix:         *mix,
 	})
 }
 
@@ -128,6 +141,7 @@ type loadConfig struct {
 	scale       int
 	timeout     time.Duration
 	backoffCap  time.Duration
+	mix         float64
 }
 
 // corpus builds the replay population: every IDN in the synthetic
@@ -153,6 +167,21 @@ func corpus(seed uint64, scale int) ([]string, error) {
 	return labels, nil
 }
 
+// maliciousCorpus builds the -mix replay slice: every labeled
+// attack-population domain (homograph and semantic splices) in its
+// request wire form. Protective registrations are excluded — they score
+// like attacks but model defenders, not load.
+func maliciousCorpus(seed uint64, scale int) []string {
+	reg := zonegen.Generate(zonegen.Config{Seed: seed, Scale: scale})
+	var out []string
+	for _, l := range reg.Labels() {
+		if l.Positive && l.Population != "protective" {
+			out = append(out, idna.SLDLabel(l.ACE)+"."+l.TLD)
+		}
+	}
+	return out
+}
+
 // workerStats are per-goroutine to keep the hot loop contention-free.
 type workerStats struct {
 	latencies []time.Duration
@@ -169,6 +198,18 @@ func runLoad(bases []string, cfg loadConfig) error {
 	labels, err := corpus(cfg.seed, cfg.scale)
 	if err != nil {
 		return err
+	}
+	var malicious []string
+	if cfg.mix > 0 {
+		if cfg.mix > 1 {
+			return fmt.Errorf("-mix %.2f out of range (want 0..1)", cfg.mix)
+		}
+		malicious = maliciousCorpus(cfg.seed, cfg.scale)
+		if len(malicious) == 0 {
+			return fmt.Errorf("-mix %.2f: no attack-population domains at scale %d (lower -scale)", cfg.mix, cfg.scale)
+		}
+		fmt.Fprintf(os.Stderr, "idnload: mix=%.2f, %d attack-population domains in the stream\n",
+			cfg.mix, len(malicious))
 	}
 	fmt.Fprintf(os.Stderr, "idnload: %d labels, zipf=%.2f, %d workers, %d targets, %s\n",
 		len(labels), cfg.zipfExp, cfg.concurrency, len(bases), cfg.duration)
@@ -193,15 +234,24 @@ func runLoad(bases []string, cfg loadConfig) error {
 			st := &perWork[id]
 			src := simrand.New(cfg.seed + uint64(id)*7919 + 1)
 			zipf := simrand.NewZipf(src, len(labels), cfg.zipfExp)
+			// pick draws the next request label: zipfian over the corpus,
+			// with a -mix coin flip diverting to a uniform draw from the
+			// attack populations (adversarial traffic has no hot head).
+			pick := func() string {
+				if cfg.mix > 0 && src.Float64() < cfg.mix {
+					return malicious[src.Intn(len(malicious))]
+				}
+				return labels[zipf.Next()]
+			}
 			st.latencies = make([]time.Duration, 0, 1<<14)
 			for n := id; !stop.Load(); n++ {
 				base := bases[n%len(bases)] // per-worker round-robin over targets
 				var code int
 				var retryAfter time.Duration
 				if cfg.batchFrac > 0 && src.Float64() < cfg.batchFrac {
-					code, retryAfter = doBatch(client, base, labels, zipf, cfg.batchSize, st)
+					code, retryAfter = doBatch(client, base, pick, cfg.batchSize, st)
 				} else {
-					code, retryAfter = doSingle(client, base, labels[zipf.Next()], st)
+					code, retryAfter = doSingle(client, base, pick(), st)
 				}
 				// Honor 429 back-pressure: sleep min(Retry-After, cap)
 				// instead of re-firing into a saturated server.
@@ -253,10 +303,72 @@ func runLoad(bases []string, cfg loadConfig) error {
 		fmt.Printf("latency: p50=%s p90=%s p99=%s max=%s\n",
 			quantile(all, 0.50), quantile(all, 0.90), quantile(all, 0.99), all[len(all)-1])
 	}
+	reportServerSplit(client, bases)
 	if tot.dropped > 0 || tot.s5xx > 0 {
 		return fmt.Errorf("%d dropped, %d server errors", tot.dropped, tot.s5xx)
 	}
 	return nil
+}
+
+// reportServerSplit scrapes /metrics from every target after the run
+// and reports where verdicts were actually decided, on two separate
+// lines: the cache hit rate (a hit skips all detector work) and the
+// statistical prefilter's shed rate (a shed skips only the SSIM
+// rescore — the detector still issued a verdict). Conflating the two
+// makes a stat-enabled node look like it has a worse cache; keeping
+// them apart makes the prefilter's capacity contribution measurable.
+// Targets without /metrics (or mid-drain) are skipped silently.
+func reportServerSplit(client *http.Client, bases []string) {
+	var snap struct {
+		Cache struct {
+			Hits   uint64 `json:"hits"`
+			Misses uint64 `json:"misses"`
+		} `json:"cache"`
+		Detector core.DetectorStats `json:"detector"`
+	}
+	var hits, misses uint64
+	var det core.DetectorStats
+	scraped := 0
+	for _, base := range bases {
+		resp, err := client.Get(base + "/metrics")
+		if err != nil {
+			continue
+		}
+		snap.Cache.Hits, snap.Cache.Misses = 0, 0
+		snap.Detector = core.DetectorStats{}
+		err = json.NewDecoder(resp.Body).Decode(&snap)
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			continue
+		}
+		scraped++
+		hits += snap.Cache.Hits
+		misses += snap.Cache.Misses
+		det.RescoreEarlyExit += snap.Detector.RescoreEarlyExit
+		det.PrefilterPass += snap.Detector.PrefilterPass
+		det.PrefilterShed += snap.Detector.PrefilterShed
+		det.StatLoaded = det.StatLoaded || snap.Detector.StatLoaded
+	}
+	if scraped == 0 {
+		return
+	}
+	if lookups := hits + misses; lookups > 0 {
+		fmt.Printf("cache-hit-rate: %.2f%% (%d of %d lookups)\n",
+			100*float64(hits)/float64(lookups), hits, lookups)
+	}
+	if !det.StatLoaded {
+		fmt.Println("prefilter-shed-rate: n/a (no stat model loaded on targets)")
+		return
+	}
+	scored := det.PrefilterPass + det.PrefilterShed
+	if scored == 0 {
+		fmt.Println("prefilter-shed-rate: n/a (stat model loaded, no non-ASCII labels scored)")
+		return
+	}
+	fmt.Printf("prefilter-shed-rate: %.2f%% (%d shed, %d rescored, %d rescore early exits)\n",
+		100*float64(det.PrefilterShed)/float64(scored),
+		det.PrefilterShed, det.PrefilterPass, det.RescoreEarlyExit)
 }
 
 // sleepUnless sleeps for d in small slices so a stopped run exits
@@ -313,10 +425,10 @@ func doSingle(client *http.Client, base, domain string, st *workerStats) (int, t
 	return resp.StatusCode, retryAfterOf(resp)
 }
 
-func doBatch(client *http.Client, base string, labels []string, zipf *simrand.Zipf, n int, st *workerStats) (int, time.Duration) {
+func doBatch(client *http.Client, base string, pick func() string, n int, st *workerStats) (int, time.Duration) {
 	domains := make([]string, n)
 	for i := range domains {
-		domains[i] = labels[zipf.Next()]
+		domains[i] = pick()
 	}
 	body, _ := json.Marshal(map[string][]string{"domains": domains})
 	t0 := time.Now()

@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"idnlab/internal/candidx"
+	"idnlab/internal/feat"
 	"idnlab/internal/serve"
 )
 
@@ -64,6 +65,7 @@ func run() error {
 		advertise   = flag.String("advertise", "", "host:port the gateway should route to (default: the bound listen address)")
 		maxRPS      = flag.Int("rate", 0, "per-node request rate cap, req/s (0 = unlimited)")
 		indexPath   = flag.String("index", "", "precomputed candidate index file (built by idnindex); replaces -brands with the index's embedded catalog")
+		statPath    = flag.String("stat", "", "trained statistical model file (built by idnstat train); enables ensemble verdicts and the learned prefilter")
 	)
 	flag.Parse()
 
@@ -76,6 +78,16 @@ func run() error {
 		ix = loaded
 		fmt.Printf("idnserve: index %s: %d brands, %d keys, fingerprint %016x\n",
 			*indexPath, len(ix.Brands()), ix.KeyCount(), ix.Fingerprint())
+	}
+	var stat *feat.Model
+	if *statPath != "" {
+		loaded, err := feat.LoadFile(*statPath)
+		if err != nil {
+			return fmt.Errorf("load stat model: %w", err)
+		}
+		stat = loaded
+		fmt.Printf("idnserve: stat model %s: seed %d, %d bigrams, flag %.3f, prefilter %.3f\n",
+			*statPath, stat.Seed(), stat.BigramCount(), stat.FlagRaw(), stat.PrefilterRaw())
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -96,6 +108,7 @@ func run() error {
 		MaxBatch:       *maxBatch,
 		DrainTimeout:   *drain,
 		Index:          ix,
+		Stat:           stat,
 	})
 
 	ready := make(chan net.Addr, 1)

@@ -40,6 +40,7 @@ import (
 	"idnlab/internal/brands"
 	"idnlab/internal/candidx"
 	"idnlab/internal/core"
+	"idnlab/internal/feat"
 	"idnlab/internal/watch"
 )
 
@@ -66,6 +67,7 @@ func run() error {
 		listen    = flag.String("listen", "", "optional HTTP address for /metrics and /healthz")
 		replay    = flag.Bool("replay", false, "print the alert log from -from and exit")
 		from      = flag.Int64("from", 0, "replay start cursor (byte offset)")
+		statPath  = flag.String("stat", "", "trained statistical model (built by idnstat train); sheds low-suspicion churn before the SSIM probe")
 	)
 	flag.Parse()
 
@@ -99,6 +101,15 @@ func run() error {
 	opts := []core.HomographOption{core.WithIndex(ix)}
 	if *threshold > 0 {
 		opts = append(opts, core.WithThreshold(*threshold))
+	}
+	if *statPath != "" {
+		stat, err := feat.LoadFile(*statPath)
+		if err != nil {
+			return fmt.Errorf("load stat model: %w", err)
+		}
+		opts = append(opts, core.WithStatModel(stat))
+		fmt.Printf("idnwatch: stat model %s: seed %d, %d bigrams, prefilter %.3f\n",
+			*statPath, stat.Seed(), stat.BigramCount(), stat.PrefilterRaw())
 	}
 	det := core.NewHomographDetector(0, opts...)
 
@@ -149,6 +160,9 @@ func run() error {
 				"matched":    matched,
 				"unwatched":  unwatched,
 				"decodeErrs": decodeErrs,
+				// detector carries rescore_early_exit and the statistical
+				// prefilter's pass/shed split.
+				"detector": eng.DetectorStats(),
 			})
 		})
 		hs := &http.Server{Handler: mux}

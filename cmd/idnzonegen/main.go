@@ -11,6 +11,11 @@
 // day-over-day zone deltas (adds/drops/NS changes in IXFR-style master
 // syntax) as delta-<serial>.zone files — the input stream the idnwatch
 // daemon tails.
+//
+// With -labels FILE it emits the labeled classifier ground truth as a
+// deterministic CSV (population, age, positive/negative class, and the
+// hashed train/eval split) — the artifact `idnstat train` and the eval
+// harness share.
 package main
 
 import (
@@ -38,12 +43,45 @@ func run() error {
 		adds        = flag.Int("delta-adds", 0, "registrations per delta day (0 = derived from corpus size)")
 		attackShare = flag.Float64("delta-attack-share", 0, "fraction of delta adds that are homograph attacks (0 = default)")
 		skipZones   = flag.Bool("deltas-only", false, "skip the full zone snapshot, emit only deltas")
+		labelsPath  = flag.String("labels", "", "also write the labeled train/eval CSV for idnstat to this file")
+		labelsOnly  = flag.Bool("labels-only", false, "skip the zone snapshot, emit only the -labels CSV")
 	)
 	flag.Parse()
 
 	reg := zonegen.Generate(zonegen.Config{Seed: *seed, Scale: *scale})
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		return err
+	}
+	if *labelsOnly && *labelsPath == "" {
+		return fmt.Errorf("-labels-only requires -labels FILE")
+	}
+	if *labelsPath != "" {
+		labels := reg.Labels()
+		f, err := os.Create(*labelsPath)
+		if err != nil {
+			return err
+		}
+		if err := zonegen.WriteLabels(f, labels); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		pos, eval := 0, 0
+		for _, l := range labels {
+			if l.Positive {
+				pos++
+			}
+			if l.Eval {
+				eval++
+			}
+		}
+		fmt.Printf("wrote %d labeled examples (%d positive, %d held out) to %s\n",
+			len(labels), pos, eval, *labelsPath)
+		if *labelsOnly {
+			return nil
+		}
 	}
 	if *deltaDays > 0 {
 		gen := reg.DeltaStream(zonegen.DeltaConfig{AddsPerDay: *adds, AttackShare: *attackShare})

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"idnlab/internal/cluster"
+	"idnlab/internal/feat"
 	"idnlab/internal/serve"
 )
 
@@ -64,6 +65,9 @@ type testCluster struct {
 	workers []*testWorker
 	client  *http.Client
 	tr      *http.Transport
+	// stat, when set before addWorker, boots workers with the
+	// statistical model attached (ensemble verdicts end to end).
+	stat *feat.Model
 }
 
 type testWorker struct {
@@ -133,7 +137,7 @@ func startCluster(t *testing.T, n int, minReady int) *testCluster {
 // gateway through a real peer loop.
 func (tc *testCluster) addWorker(id string) *testWorker {
 	tc.t.Helper()
-	srv := serve.NewServer(serve.Config{NodeID: id, TopK: 100, Workers: 2})
+	srv := serve.NewServer(serve.Config{NodeID: id, TopK: 100, Workers: 2, Stat: tc.stat})
 	ts := httptest.NewServer(srv.Handler())
 	addr := strings.TrimPrefix(ts.URL, "http://")
 	p := serve.NewPeer(tc.gwURL, id, addr)

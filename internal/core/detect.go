@@ -6,11 +6,13 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"unicode/utf8"
 
 	"idnlab/internal/brands"
 	"idnlab/internal/candidx"
 	"idnlab/internal/confusables"
+	"idnlab/internal/feat"
 	"idnlab/internal/glyph"
 	"idnlab/internal/idna"
 	"idnlab/internal/ssim"
@@ -81,7 +83,54 @@ type HomographDetector struct {
 	customBrands []brands.Brand
 	index        *candidx.Index
 	probe        *candidx.Probe
+	// stat, when set (WithStatModel), is the trained statistical
+	// classifier run as a learned prefilter in front of the SSIM path:
+	// labels scoring below the model's prefilter floor are shed before
+	// any render or rescore. The model is immutable and shared by
+	// Clones; counters aggregates observability counters across all
+	// Clones of one construction (the pointer survives the copy in
+	// Clone, so every worker increments the same atomics).
+	stat     *feat.Model
+	counters *detectorCounters
 }
+
+// detectorCounters are the detector family's shared observability
+// counters, surfaced at /metrics by both the serving and watch tiers.
+type detectorCounters struct {
+	// rescoreEarlyExit counts bounded rescores (ScoreBounded against a
+	// known brand) that exited before completing the window sweep — the
+	// PR-7 optimization that was previously unobservable.
+	rescoreEarlyExit atomic.Uint64
+	// prefilterPass / prefilterShed count statistical-prefilter
+	// admissions and sheds of the expensive homograph path.
+	prefilterPass atomic.Uint64
+	prefilterShed atomic.Uint64
+}
+
+// DetectorStats is the wire form of the detector family's shared
+// counters. The rescore_early_exit key is the contract both idnserve
+// and idnwatch expose at /metrics.
+type DetectorStats struct {
+	RescoreEarlyExit uint64 `json:"rescore_early_exit"`
+	PrefilterPass    uint64 `json:"prefilter_pass"`
+	PrefilterShed    uint64 `json:"prefilter_shed"`
+	StatLoaded       bool   `json:"stat_loaded"`
+}
+
+// Stats snapshots the counters aggregated across this detector and all
+// its Clones.
+func (d *HomographDetector) Stats() DetectorStats {
+	return DetectorStats{
+		RescoreEarlyExit: d.counters.rescoreEarlyExit.Load(),
+		PrefilterPass:    d.counters.prefilterPass.Load(),
+		PrefilterShed:    d.counters.prefilterShed.Load(),
+		StatLoaded:       d.stat != nil,
+	}
+}
+
+// StatModel returns the attached statistical model, nil when the
+// detector runs without the learned prefilter.
+func (d *HomographDetector) StatModel() *feat.Model { return d.stat }
 
 // HomographOption configures the detector.
 type HomographOption func(*HomographDetector)
@@ -98,6 +147,15 @@ func WithoutPrefilter() HomographOption {
 	return func(d *HomographDetector) { d.prefilter = false }
 }
 
+// WithStatModel attaches a trained statistical classifier as a learned
+// prefilter: DetectNormalized scores the label first and sheds
+// everything below the model's prefilter floor without rendering a
+// pixel. With no model attached (the default) detection is bit-
+// identical to the pre-ensemble behavior.
+func WithStatModel(m *feat.Model) HomographOption {
+	return func(d *HomographDetector) { d.stat = m }
+}
+
 // NewHomographDetector builds a detector over the top-k brand list.
 func NewHomographDetector(topK int, opts ...HomographOption) *HomographDetector {
 	d := &HomographDetector{
@@ -107,6 +165,7 @@ func NewHomographDetector(topK int, opts ...HomographOption) *HomographDetector 
 		cmp:           ssim.New(ssim.DefaultWindow),
 		table:         confusables.Default(),
 		brandsByLabel: make(map[string]brands.Brand, topK),
+		counters:      &detectorCounters{},
 	}
 	for _, o := range opts {
 		o(d)
@@ -174,6 +233,9 @@ func brandCache() (map[string]*ssim.RefTable, map[string]int) {
 // with each other and with the original, as long as each individual
 // detector stays on one goroutine.
 func (d *HomographDetector) Clone() *HomographDetector {
+	// The struct copy carries the stat model and the counters pointer:
+	// clones score through the same immutable model and aggregate into
+	// the same shared counters.
 	c := *d
 	c.cmp = ssim.New(ssim.DefaultWindow)
 	c.scratch = nil
@@ -239,6 +301,13 @@ func (d *HomographDetector) ScoreBounded(label, brandLabel string, min float64) 
 		if err != nil {
 			return -1, false
 		}
+		if !ok {
+			// A genuine early exit: the kernel proved the exact index
+			// falls below min without finishing the window sweep. (The
+			// unknown-brand fallback below completes its sweep either
+			// way, so it never counts.)
+			d.counters.rescoreEarlyExit.Add(1)
+		}
 		return v, ok
 	}
 	d.scratchRef = d.renderer.RenderWidthInto(d.scratchRef, brandLabel, width)
@@ -267,6 +336,30 @@ func (d *HomographDetector) DetectNormalized(n NormalizedDomain) (HomographMatch
 	if n.ASCII {
 		return HomographMatch{}, false // homographs need non-ASCII content
 	}
+	if d.stat != nil && !d.AdmitStat(d.stat.ScoreLabel(n.Label, idna.SLDLabel(n.ACE), idna.TLD(n.ACE))) {
+		return HomographMatch{}, false // shed by the learned prefilter
+	}
+	return d.detectFull(n)
+}
+
+// AdmitStat applies the statistical prefilter decision to a raw margin
+// already computed by the caller (the ensemble classifier scores once
+// and reuses the margin for both the verdict and the gate), updating
+// the shared pass/shed counters. It must only be called with a model
+// attached.
+func (d *HomographDetector) AdmitStat(raw float64) bool {
+	if raw < d.stat.PrefilterRaw() {
+		d.counters.prefilterShed.Add(1)
+		return false
+	}
+	d.counters.prefilterPass.Add(1)
+	return true
+}
+
+// detectFull is DetectNormalized past the gates: the index-backed path
+// when an index is attached, the skeleton-prefilter or brute-force
+// sweep otherwise. Callers guarantee a non-ASCII label.
+func (d *HomographDetector) detectFull(n NormalizedDomain) (HomographMatch, bool) {
 	if d.index != nil {
 		// Index first: O(1) candidate probes plus a rescore of the few
 		// hits, bit-identical to the sweep below by construction.

@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"idnlab/internal/candidx"
+	"idnlab/internal/feat"
 )
 
 // Parallel corpus scanning. The paper's brute-force sweep took 102 hours
@@ -36,17 +37,28 @@ type DetectorConfig struct {
 	// deprecated DetectParallel shim — routes through the index
 	// identically instead of silently falling back to the sweep.
 	Index *candidx.Index
+	// Stat, when set, attaches the statistical model to every instance
+	// (equivalent to appending WithStatModel to Options): the model
+	// becomes the learned prefilter ahead of the SSIM path and the
+	// third detector in ensemble verdicts.
+	Stat *feat.Model
 }
 
 // detectorOptions resolves the config into the option list detector
 // construction actually applies.
 func (cfg DetectorConfig) detectorOptions() []HomographOption {
-	if cfg.Index == nil {
+	if cfg.Index == nil && cfg.Stat == nil {
 		return cfg.Options
 	}
-	opts := make([]HomographOption, 0, len(cfg.Options)+1)
+	opts := make([]HomographOption, 0, len(cfg.Options)+2)
 	opts = append(opts, cfg.Options...)
-	return append(opts, WithIndex(cfg.Index))
+	if cfg.Index != nil {
+		opts = append(opts, WithIndex(cfg.Index))
+	}
+	if cfg.Stat != nil {
+		opts = append(opts, WithStatModel(cfg.Stat))
+	}
+	return opts
 }
 
 // DetectParallel scans the corpus for homographic IDNs with one detector

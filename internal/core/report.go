@@ -15,6 +15,7 @@ import (
 	"unicode/utf8"
 
 	"idnlab/internal/browser"
+	"idnlab/internal/feat"
 	"idnlab/internal/glyph"
 	"idnlab/internal/langid"
 	"idnlab/internal/pipeline"
@@ -50,6 +51,15 @@ type Study struct {
 	mu          sync.Mutex
 	scanMetrics []pipeline.Metrics
 	timings     []SectionTiming
+
+	// Memoized statistical classifier: trained once per Study on the
+	// registry's labeled ground truth (deterministic for a fixed seed),
+	// shared by the taxonomy section across sequential and parallel
+	// renders. Guarded by its own mutex like the memoized scans.
+	statMu  sync.Mutex
+	statM   *feat.Model
+	statExs []feat.Example
+	statErr error
 
 	// Memoized corpus scans. Guarded by their own mutexes (not sync.Once)
 	// so a scan aborted by context cancellation stays uncached and can be
@@ -192,6 +202,7 @@ func (st *Study) sections() []reportSection {
 		{"Figure 5", st.ReportFigure5}, {"Figure 6", st.ReportFigure6},
 		{"Figure 7", st.ReportFigure7}, {"Figure 7b", st.ReportFigure7b},
 		{"Table XIV", st.ReportTable14}, {"Figure 8", st.ReportFigure8},
+		{"Taxonomy", st.ReportTaxonomy},
 	}
 }
 
@@ -823,6 +834,104 @@ func (st *Study) ReportFigure7b(w io.Writer) error {
 			b.Domain, one, two, float64(two)/float64(one), stats.Percent(rate))
 	}
 	return tw.Flush()
+}
+
+// statModel trains the statistical classifier on the registry's labeled
+// ground truth, once per Study. Training is deterministic for a fixed
+// registry seed, so the section built on it is byte-stable across
+// renders and across the sequential/parallel schedulers.
+func (st *Study) statModel() (*feat.Model, []feat.Example, error) {
+	st.statMu.Lock()
+	defer st.statMu.Unlock()
+	if st.statM == nil && st.statErr == nil {
+		exs := feat.FromLabeled(st.DS.Registry.Labels())
+		m, _, err := feat.Train(exs, feat.TrainConfig{Seed: st.DS.Registry.Cfg.Seed})
+		st.statM, st.statExs, st.statErr = m, exs, err
+	}
+	return st.statM, st.statExs, st.statErr
+}
+
+// ReportTaxonomy renders the abuse-taxonomy extension: for each labeled
+// abuse population, the share caught by each detector family — the
+// glyph-level homograph detector (SSIM), the exact-residue semantic
+// detector, and the statistical classifier — and their ensemble union.
+// The structural detectors are read from the memoized corpus scans, so
+// the section matches the example sections exactly; the classifier is
+// trained in-report on the same universe it is evaluated against (the
+// section characterizes coverage overlap, not held-out generalization —
+// that is `idnstat eval`'s job). The closing line is the statistical
+// prefilter's pass rate over the benign populations: the fraction of
+// clean traffic that would still reach the expensive SSIM path.
+func (st *Study) ReportTaxonomy(w io.Writer) error {
+	m, exs, err := st.statModel()
+	if err != nil {
+		return err
+	}
+	glyph := make(map[string]struct{})
+	for _, mt := range st.homographMatches() {
+		glyph[mt.Domain] = struct{}{}
+	}
+	semantic := make(map[string]struct{})
+	for _, mt := range st.semanticMatches() {
+		semantic[mt.Domain] = struct{}{}
+	}
+	type row struct{ total, glyph, semantic, stat, any int }
+	rows := make(map[string]*row)
+	var negTotal, negPass int
+	for _, e := range exs {
+		raw := m.ScoreLabel(e.Label, e.ACELabel, e.TLD)
+		if !e.Positive {
+			negTotal++
+			if m.PrefilterPass(raw) {
+				negPass++
+			}
+			continue
+		}
+		r := rows[e.Population]
+		if r == nil {
+			r = &row{}
+			rows[e.Population] = r
+		}
+		r.total++
+		full := e.ACELabel + "." + e.TLD
+		_, g := glyph[full]
+		_, s := semantic[full]
+		flag := m.Flag(raw)
+		if g {
+			r.glyph++
+		}
+		if s {
+			r.semantic++
+		}
+		if flag {
+			r.stat++
+		}
+		if g || s || flag {
+			r.any++
+		}
+	}
+	tw := newTab(w)
+	fmt.Fprintf(tw, "TAXONOMY (extension): detector families per abuse population (model seed %d, %d bigrams)\n",
+		m.Seed(), m.BigramCount())
+	fmt.Fprintln(tw, "Population\tn\tGlyph (SSIM)\tSemantic\tStatistical\tEnsemble")
+	for _, pop := range []string{"homograph", "semantic", "semantic2", "protective"} {
+		r := rows[pop]
+		if r == nil || r.total == 0 {
+			continue
+		}
+		n := float64(r.total)
+		fmt.Fprintf(tw, "%s\t%d\t%s\t%s\t%s\t%s\n", pop, r.total,
+			stats.Percent(float64(r.glyph)/n), stats.Percent(float64(r.semantic)/n),
+			stats.Percent(float64(r.stat)/n), stats.Percent(float64(r.any)/n))
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	if negTotal > 0 {
+		fmt.Fprintf(w, "Statistical prefilter passes %s of benign labels (%d of %d) to the SSIM path\n",
+			stats.Percent(float64(negPass)/float64(negTotal)), negPass, negTotal)
+	}
+	return nil
 }
 
 // ReportTable11b renders the policy-effectiveness extension: each display

@@ -1,0 +1,40 @@
+package feat
+
+import (
+	"idnlab/internal/idna"
+	"idnlab/internal/zonegen"
+)
+
+// FromLabeled converts the corpus ground truth into training examples.
+// The classifier scores SLD labels, so the domain forms are reduced to
+// their label forms here, once, instead of in every training pass.
+func FromLabeled(labels []zonegen.LabeledDomain) []Example {
+	out := make([]Example, len(labels))
+	for i, l := range labels {
+		out[i] = Example{
+			Label:      idna.SLDLabel(l.Unicode),
+			ACELabel:   idna.SLDLabel(l.ACE),
+			TLD:        l.TLD,
+			AgeDays:    l.AgeDays,
+			HasAge:     true,
+			Positive:   l.Positive,
+			Eval:       l.Eval,
+			Population: l.Population,
+		}
+	}
+	return out
+}
+
+// TrainCorpus generates the synthetic universe at (seed, scale),
+// derives its labels and trains a model — the one-call path shared by
+// `idnstat train -seed/-scale`, the report's abuse-taxonomy section
+// and the test/benchmark harnesses.
+func TrainCorpus(seed uint64, scale int, cfg TrainConfig) (*Model, *TrainReport, []Example, error) {
+	reg := zonegen.Generate(zonegen.Config{Seed: seed, Scale: scale})
+	exs := FromLabeled(reg.Labels())
+	if cfg.Seed == 0 {
+		cfg.Seed = seed
+	}
+	m, rep, err := Train(exs, cfg)
+	return m, rep, exs, err
+}

@@ -1,0 +1,161 @@
+package feat
+
+import "sort"
+
+// PopulationMetrics is one generator population's slice of an eval run.
+type PopulationMetrics struct {
+	Population string `json:"population"`
+	N          int    `json:"n"`
+	// FlagRecall is the fraction flagged (raw ≥ flag threshold);
+	// PrefilterRecall the fraction passing the prefilter floor. Both
+	// under serving conditions. Only meaningful for positive
+	// populations; for benign populations FlagRecall is the false-flag
+	// rate and PrefilterRecall the pass (non-shed) rate.
+	FlagRecall      float64 `json:"flagRecall"`
+	PrefilterRecall float64 `json:"prefilterRecall"`
+}
+
+// EvalReport is the classifier's quality card over one example set,
+// scored under serving conditions (no registration timeline — the only
+// conditions the online gate ever sees, and therefore the honest ones
+// to gate on).
+type EvalReport struct {
+	Examples  int `json:"examples"`
+	Positives int `json:"positives"`
+	Negatives int `json:"negatives"`
+	// Precision/Recall/F1 at the flag threshold.
+	Precision float64 `json:"precision"`
+	Recall    float64 `json:"recall"`
+	F1        float64 `json:"f1"`
+	// AUC is the rank-sum (Mann-Whitney) area under the ROC curve of
+	// the raw margins, threshold-free.
+	AUC float64 `json:"auc"`
+	// PassRate is the prefilter pass rate over all examples — the
+	// fraction of traffic the SSIM path still sees. PrefilterRecall is
+	// the pass rate over positives only (the recall the prefilter
+	// preserves for the downstream detectors).
+	PassRate        float64             `json:"passRate"`
+	PrefilterRecall float64             `json:"prefilterRecall"`
+	Populations     []PopulationMetrics `json:"populations"`
+}
+
+// Evaluate scores every example under serving conditions and reports
+// precision/recall/F1 at the flag threshold, rank-sum AUC, and the
+// prefilter's pass rate and per-population recall. Pass the held-out
+// split for honest numbers (Split separates it).
+func Evaluate(m *Model, exs []Example) EvalReport {
+	rep := EvalReport{Examples: len(exs)}
+	type popAgg struct {
+		n, flagged, passed int
+	}
+	pops := map[string]*popAgg{}
+	var popOrder []string
+	raws := make([]float64, len(exs))
+	tp, fp, fn := 0, 0, 0
+	passed, passedPos := 0, 0
+	for i, e := range exs {
+		raw := m.ScoreLabel(e.Label, e.ACELabel, e.TLD)
+		raws[i] = raw
+		flagged := m.Flag(raw)
+		pass := m.PrefilterPass(raw)
+		if e.Positive {
+			rep.Positives++
+			if flagged {
+				tp++
+			} else {
+				fn++
+			}
+			if pass {
+				passedPos++
+			}
+		} else {
+			rep.Negatives++
+			if flagged {
+				fp++
+			}
+		}
+		if pass {
+			passed++
+		}
+		agg := pops[e.Population]
+		if agg == nil {
+			agg = &popAgg{}
+			pops[e.Population] = agg
+			popOrder = append(popOrder, e.Population)
+		}
+		agg.n++
+		if flagged {
+			agg.flagged++
+		}
+		if pass {
+			agg.passed++
+		}
+	}
+	if tp+fp > 0 {
+		rep.Precision = float64(tp) / float64(tp+fp)
+	}
+	if tp+fn > 0 {
+		rep.Recall = float64(tp) / float64(tp+fn)
+	}
+	if rep.Precision+rep.Recall > 0 {
+		rep.F1 = 2 * rep.Precision * rep.Recall / (rep.Precision + rep.Recall)
+	}
+	rep.AUC = rankSumAUC(raws, exs)
+	if len(exs) > 0 {
+		rep.PassRate = float64(passed) / float64(len(exs))
+	}
+	if rep.Positives > 0 {
+		rep.PrefilterRecall = float64(passedPos) / float64(rep.Positives)
+	}
+	sort.Strings(popOrder)
+	for _, name := range popOrder {
+		agg := pops[name]
+		rep.Populations = append(rep.Populations, PopulationMetrics{
+			Population:      name,
+			N:               agg.n,
+			FlagRecall:      float64(agg.flagged) / float64(agg.n),
+			PrefilterRecall: float64(agg.passed) / float64(agg.n),
+		})
+	}
+	return rep
+}
+
+// rankSumAUC computes the Mann-Whitney AUC: the probability a random
+// positive outscores a random negative, with tied scores counted half.
+func rankSumAUC(raws []float64, exs []Example) float64 {
+	type rs struct {
+		raw float64
+		pos bool
+	}
+	s := make([]rs, len(exs))
+	nPos, nNeg := 0, 0
+	for i, e := range exs {
+		s[i] = rs{raw: raws[i], pos: e.Positive}
+		if e.Positive {
+			nPos++
+		} else {
+			nNeg++
+		}
+	}
+	if nPos == 0 || nNeg == 0 {
+		return 0
+	}
+	sort.Slice(s, func(i, j int) bool { return s[i].raw < s[j].raw })
+	// Average ranks across ties, then sum the positive ranks.
+	rankSum := 0.0
+	for i := 0; i < len(s); {
+		j := i
+		for j < len(s) && s[j].raw == s[i].raw {
+			j++
+		}
+		avgRank := float64(i+j+1) / 2 // ranks are 1-based: (i+1 + j) / 2
+		for k := i; k < j; k++ {
+			if s[k].pos {
+				rankSum += avgRank
+			}
+		}
+		i = j
+	}
+	u := rankSum - float64(nPos)*float64(nPos+1)/2
+	return u / (float64(nPos) * float64(nNeg))
+}

@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"idnlab/internal/core"
 	"idnlab/internal/metricsutil"
 	"idnlab/internal/pipeline"
 )
@@ -94,4 +95,8 @@ type MetricsSnapshot struct {
 	Admission     AdmissionStats       `json:"admission"`
 	BatchEngine   pipeline.MetricsJSON `json:"batchEngine"`
 	Index         IndexStats           `json:"index"`
+	// Detector aggregates the detector family's shared counters across
+	// every clone: bounded-rescore early exits and — with a statistical
+	// model loaded — the learned prefilter's pass/shed split.
+	Detector core.DetectorStats `json:"detector"`
 }

@@ -36,6 +36,7 @@ import (
 
 	"idnlab/internal/candidx"
 	"idnlab/internal/core"
+	"idnlab/internal/feat"
 	"idnlab/internal/pipeline"
 	"idnlab/internal/version"
 )
@@ -87,6 +88,11 @@ type Config struct {
 	// sweep, and defends the index's embedded catalog instead of the
 	// top-TopK list. Index stats surface at /metrics.
 	Index *candidx.Index
+	// Stat, when set, is a trained statistical model (loaded with
+	// feat.LoadFile): every verdict becomes a three-detector ensemble
+	// and the model gates the SSIM path as a learned prefilter.
+	// Prefilter pass/shed counters surface at /metrics.
+	Stat *feat.Model
 }
 
 func (c Config) withDefaults() Config {
@@ -176,7 +182,7 @@ func NewServer(cfg Config) *Server {
 	if cfg.Threshold > 0 {
 		opts = append(opts, core.WithThreshold(cfg.Threshold))
 	}
-	dcfg := core.DetectorConfig{TopK: cfg.TopK, Options: opts, Index: cfg.Index}
+	dcfg := core.DetectorConfig{TopK: cfg.TopK, Options: opts, Index: cfg.Index, Stat: cfg.Stat}
 	s := &Server{
 		cfg:     cfg,
 		cache:   NewVerdictCache(cfg.CacheSize, cfg.CacheShards),
@@ -329,6 +335,7 @@ func (s *Server) Snapshot() MetricsSnapshot {
 		Admission:   s.adm.Stats(),
 		BatchEngine: s.batchEng.Metrics().JSON(),
 		Index:       indexStats(s.cfg.Index),
+		Detector:    s.proto.DetectorStats(),
 	}
 }
 

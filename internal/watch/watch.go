@@ -32,6 +32,7 @@ type EngineConfig struct {
 type Engine struct {
 	pipe *pipeline.Engine[Event, Alert, *Matcher]
 	subs *SubTable
+	det  *core.HomographDetector
 
 	matched    atomic.Uint64 // events whose label hit a watched brand
 	unwatched  atomic.Uint64 // matches suppressed: no subscriber
@@ -45,7 +46,7 @@ func NewEngine(det *core.HomographDetector, subs *SubTable, cfg EngineConfig) (*
 	if err != nil {
 		return nil, err
 	}
-	e := &Engine{subs: subs}
+	e := &Engine{subs: subs, det: det}
 	e.pipe = pipeline.New(
 		pipeline.Config{Stage: "watch", Workers: cfg.Workers, Batch: cfg.Batch, Buffer: cfg.Buffer},
 		proto.Clone,
@@ -68,6 +69,17 @@ func (e *Engine) process(m *Matcher, ev Event) (Alert, bool, error) {
 	if err != nil {
 		e.decodeErrs.Add(1)
 		return Alert{}, false, nil
+	}
+	// Learned prefilter: with a statistical model attached to the
+	// detector, score the label once (the owner IS the ACE label; the
+	// origin is the zone) and shed low-suspicion churn before the SSIM
+	// probe — the same gate the serving tier applies, with the same
+	// pass/shed counters surfacing at /metrics.
+	if sm := m.det.StatModel(); sm != nil {
+		raw := sm.ScoreLabel(label, ev.Owner, strings.TrimSuffix(ev.Origin, "."))
+		if !m.det.AdmitStat(raw) {
+			return Alert{}, false, nil
+		}
 	}
 	match, ok := m.Match(label)
 	if !ok {
@@ -105,3 +117,8 @@ func (e *Engine) Metrics() pipeline.Metrics { return e.pipe.Metrics() }
 func (e *Engine) Counters() (matched, unwatched, decodeErrs uint64) {
 	return e.matched.Load(), e.unwatched.Load(), e.decodeErrs.Load()
 }
+
+// DetectorStats snapshots the detector family's shared counters
+// (bounded-rescore early exits, statistical prefilter pass/shed),
+// aggregated across every matcher clone.
+func (e *Engine) DetectorStats() core.DetectorStats { return e.det.Stats() }

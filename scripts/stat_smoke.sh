@@ -1,0 +1,119 @@
+#!/bin/sh
+# stat_smoke.sh — end-to-end smoke of the statistical classifier
+# pipeline: idnzonegen emits the labeled CSV, idnstat trains a model
+# from it and the held-out eval must clear the recall/pass-rate gates,
+# idnserve boots with -stat, a labeled attack domain must come back
+# with an ensemble verdict (statistical detector + suspicion level),
+# /metrics must expose the prefilter split, and a short idnload -mix
+# run must report the shed-vs-cache-hit breakdown. Clean SIGTERM drain.
+# Run via `make stat-smoke`.
+set -eu
+
+GO=${GO:-go}
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+echo "stat-smoke: building binaries..."
+"$GO" build -o "$TMP/idnzonegen" ./cmd/idnzonegen
+"$GO" build -o "$TMP/idnstat" ./cmd/idnstat
+"$GO" build -o "$TMP/idnserve" ./cmd/idnserve
+"$GO" build -o "$TMP/idnload" ./cmd/idnload
+
+echo "stat-smoke: generating labeled corpus..."
+"$TMP/idnzonegen" -labels-only -labels "$TMP/labels.csv" -seed 2018 -scale 100 >/dev/null
+[ -s "$TMP/labels.csv" ] || { echo "stat-smoke: empty labels CSV"; exit 1; }
+
+echo "stat-smoke: training and gating the held-out eval..."
+"$TMP/idnstat" train -labels "$TMP/labels.csv" -seed 2018 -out "$TMP/model.idnstat" >/dev/null
+"$TMP/idnstat" eval -model "$TMP/model.idnstat" -labels "$TMP/labels.csv" \
+    -min-recall 0.95 -max-pass 0.25 >/dev/null
+"$TMP/idnstat" inspect -model "$TMP/model.idnstat" >/dev/null
+echo "stat-smoke: eval gates hold (recall >= 0.95, pass rate <= 0.25)"
+
+"$TMP/idnserve" -listen 127.0.0.1:0 -brands 1000 -stat "$TMP/model.idnstat" >"$TMP/serve.log" 2>&1 &
+SRV=$!
+trap 'kill "$SRV" 2>/dev/null; rm -rf "$TMP"' EXIT
+
+ADDR=""
+for i in $(seq 1 50); do
+    ADDR=$(sed -n 's/^idnserve: listening on \([^ ]*\).*/\1/p' "$TMP/serve.log")
+    [ -n "$ADDR" ] && break
+    kill -0 "$SRV" 2>/dev/null || { echo "stat-smoke: idnserve died:"; cat "$TMP/serve.log"; exit 1; }
+    sleep 0.1
+done
+if [ -z "$ADDR" ]; then
+    echo "stat-smoke: idnserve never became ready:"; cat "$TMP/serve.log"; exit 1
+fi
+grep -q "stat model" "$TMP/serve.log" || { echo "stat-smoke: no stat-model boot line:"; cat "$TMP/serve.log"; exit 1; }
+echo "stat-smoke: idnserve up at $ADDR (stat model loaded)"
+
+post() {
+    curl -sf -X POST -H 'Content-Type: application/json' -d "$1" "http://$ADDR/v1/detect" 2>/dev/null \
+        || wget -qO- --post-data="$1" --header='Content-Type: application/json' "http://$ADDR/v1/detect"
+}
+
+# A homograph attack label must come back as a full ensemble verdict:
+# flagged, with the statistical detector's contribution and a suspicion
+# level alongside the structural match.
+RESP=$(post '{"domain":"xn--pple-43d.com"}')
+case "$RESP" in
+  *'"flagged":true'*) ;;
+  *) echo "stat-smoke: attack domain not flagged: $RESP"; exit 1 ;;
+esac
+case "$RESP" in
+  *'"suspicion":"high"'*) ;;
+  *) echo "stat-smoke: no high-suspicion ensemble verdict: $RESP"; exit 1 ;;
+esac
+case "$RESP" in
+  *'"confidence"'*) ;;
+  *) echo "stat-smoke: no ensemble confidence block: $RESP"; exit 1 ;;
+esac
+echo "stat-smoke: attack domain flagged with ensemble verdict"
+
+# A plain ASCII benign domain still answers, unflagged, with the
+# ensemble fields present (ASCII labels skip stat scoring but carry the
+# ensemble annotation when a model is loaded).
+RESP=$(post '{"domain":"example.com"}')
+case "$RESP" in
+  *'"flagged":false'*) ;;
+  *) echo "stat-smoke: benign domain flagged: $RESP"; exit 1 ;;
+esac
+case "$RESP" in
+  *'"suspicion"'*) ;;
+  *) echo "stat-smoke: benign verdict missing suspicion level: $RESP"; exit 1 ;;
+esac
+
+# Short mixed-population load: the -mix stream must run clean and the
+# post-run report must print the shed-vs-cache-hit split.
+"$TMP/idnload" -addr "$ADDR" -mix 0.3 -duration 2s -concurrency 8 >"$TMP/load.log" 2>&1 \
+    || { echo "stat-smoke: idnload -mix failed:"; cat "$TMP/load.log"; exit 1; }
+grep -q "prefilter-shed-rate:" "$TMP/load.log" || { echo "stat-smoke: no prefilter-shed-rate line:"; cat "$TMP/load.log"; exit 1; }
+grep -q "cache-hit-rate:" "$TMP/load.log" || { echo "stat-smoke: no cache-hit-rate line:"; cat "$TMP/load.log"; exit 1; }
+echo "stat-smoke: idnload -mix ok ($(grep 'prefilter-shed-rate:' "$TMP/load.log"))"
+
+# /metrics must expose the detector split with the model marked loaded.
+METRICS=$(curl -sf "http://$ADDR/metrics" 2>/dev/null) || METRICS=$(wget -qO- "http://$ADDR/metrics")
+case "$METRICS" in
+  *'"stat_loaded":true'*) ;;
+  *) echo "stat-smoke: /metrics does not report a loaded stat model: $METRICS"; exit 1 ;;
+esac
+case "$METRICS" in
+  *'"rescore_early_exit"'*) ;;
+  *) echo "stat-smoke: /metrics missing rescore_early_exit: $METRICS"; exit 1 ;;
+esac
+case "$METRICS" in
+  *'"prefilter_shed":0,'*) echo "stat-smoke: prefilter never shed under -mix load: $METRICS"; exit 1 ;;
+esac
+echo "stat-smoke: detector metrics ok"
+
+kill -TERM "$SRV"
+STATUS=0
+wait "$SRV" || STATUS=$?
+trap 'rm -rf "$TMP"' EXIT
+if [ "$STATUS" -ne 0 ]; then
+    echo "stat-smoke: idnserve exited $STATUS on SIGTERM:"; cat "$TMP/serve.log"; exit 1
+fi
+if ! grep -q "drained cleanly" "$TMP/serve.log"; then
+    echo "stat-smoke: no clean-drain marker:"; cat "$TMP/serve.log"; exit 1
+fi
+echo "stat-smoke: ok (train, eval gates, ensemble serve, mix load, clean drain)"
