@@ -32,8 +32,15 @@ WATCH_BENCH_PATTERN = ^(BenchmarkWatchMatch1M|BenchmarkAlertLogAppend|BenchmarkD
 # classifications/s), so they hold at any benchtime.
 STAT_BENCHTIME ?= 1s
 STAT_BENCH_PATTERN = ^(BenchmarkStatClassify|BenchmarkStatClassifyNaive|BenchmarkStatTrain)$$
+# Knobs for bench-gateway: the codec microbench benchtime (allocs/op is
+# exact at any benchtime; the zero-alloc gate holds even at CI's 10x),
+# the load-phase duration and the per-worker rate cap. CI smoke:
+# `make bench-gateway GATEWAY_CODEC_BENCHTIME=10x GATEWAY_BENCH_DURATION=4s`.
+GATEWAY_CODEC_BENCHTIME ?= 1s
+GATEWAY_BENCH_DURATION ?= 8s
+GATEWAY_BENCH_RATE ?= 500
 
-.PHONY: all build vet test race bench bench-ssim bench-report bench-index bench-watch bench-stat report fuzz fuzz-smoke serve-smoke serve-bench cluster-smoke cluster-bench index-smoke watch-smoke stat-smoke clean
+.PHONY: all build vet test race bench bench-ssim bench-report bench-index bench-watch bench-stat bench-gateway report fuzz fuzz-smoke serve-smoke serve-bench cluster-smoke cluster-bench index-smoke watch-smoke stat-smoke clean
 
 all: build vet test
 
@@ -116,6 +123,15 @@ bench-stat:
 	      -require-zero-allocs BenchmarkStatClassify \
 	      -min-throughput BenchmarkStatClassify=1000000
 
+# Gateway wire-path benchmark (PR 9): internal/api append-codec
+# microbenchmarks (vs the recorded encoding/json baseline, hard
+# 0 allocs/op gate on every encoder) plus the request-coalescing
+# throughput comparison — idngateway + 2 rate-capped workers under a
+# singles-only load, coalescing off vs -coalesce 500us — into
+# BENCH_gateway.json. Fails if coalescing buys < 1.5x sustained 2xx QPS.
+bench-gateway:
+	CODEC_BENCHTIME=$(GATEWAY_CODEC_BENCHTIME) sh scripts/gateway_bench.sh $(GATEWAY_BENCH_DURATION) $(GATEWAY_BENCH_RATE)
+
 # The full study: every table and figure at 1/100 of the paper's corpus.
 report:
 	$(GO) run ./cmd/idnreport -seed 2018 -scale 100
@@ -133,6 +149,8 @@ fuzz:
 	$(GO) test -fuzz=FuzzIndexLookup -fuzztime=$(FUZZTIME) ./internal/candidx/
 	$(GO) test -fuzz=FuzzDeltaParse -fuzztime=$(FUZZTIME) ./internal/watch/
 	$(GO) test -fuzz=FuzzAlertLogReplay -fuzztime=$(FUZZTIME) ./internal/watch/
+	$(GO) test -fuzz=FuzzCodecRoundTrip -fuzztime=$(FUZZTIME) ./internal/api/
+	$(GO) test -fuzz=FuzzDecodeResponseBytes -fuzztime=$(FUZZTIME) ./internal/api/
 
 # End-to-end smoke of the online detection service: boot idnserve, fire
 # the mixed single/batch/bad-input set via idnload -smoke, assert clean

@@ -60,6 +60,10 @@ func run() error {
 		scatter      = flag.Int("scatter-workers", 16, "concurrent sub-batch fan-out bound")
 		minReady     = flag.Int("min-ready", 1, "alive workers required for /readyz")
 		drain        = flag.Duration("drain", 5*time.Second, "graceful shutdown budget")
+		coalesce     = flag.Duration("coalesce", 0, "single-detect coalescing window, e.g. 500us (0 = off)")
+		coalesceMax  = flag.Int("coalesce-max", 64, "max singles merged into one upstream batch")
+		idleConns    = flag.Int("upstream-idle-conns", 256, "upstream transport: total idle connections kept")
+		idlePerHost  = flag.Int("upstream-idle-conns-per-host", 64, "upstream transport: idle connections kept per worker")
 	)
 	flag.Parse()
 
@@ -82,14 +86,18 @@ func run() error {
 			DeadAfter:         *deadAfter,
 		},
 		Router: cluster.RouterConfig{
-			MaxAttempts: *attempts,
-			Hedge:       *hedge,
+			MaxAttempts:         *attempts,
+			Hedge:               *hedge,
+			MaxIdleConns:        *idleConns,
+			MaxIdleConnsPerHost: *idlePerHost,
 		},
 		MaxBatch:       *maxBatch,
 		RequestTimeout: *reqTimeout,
 		ScatterWorkers: *scatter,
 		MinReady:       *minReady,
 		DrainTimeout:   *drain,
+		CoalesceWindow: *coalesce,
+		CoalesceMax:    *coalesceMax,
 	})
 
 	ready := make(chan net.Addr, 1)

@@ -34,6 +34,13 @@
 // the cache hit rate and the prefilter shed rate on separate lines: a
 // cache hit skips all detector work, a prefilter shed only the rescore.
 //
+// -singles-concurrency N replaces the mixed single/batch worker pool
+// with N singles-only workers — the load shape the gateway's request
+// coalescer is built for. After a run the tool scrapes every target's
+// /metrics and, when the target is a gateway with coalescing enabled,
+// reports the upstream-batch amplification (client singles per upstream
+// call) so the coalescing win is visible from the load tool.
+//
 // -smoke fires a fixed mixed single/batch/bad-input request set,
 // asserting status codes and verdict fields; it exits non-zero on any
 // deviation. The serve-smoke and cluster-smoke make targets wrap it
@@ -55,6 +62,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"idnlab/internal/api"
 	"idnlab/internal/core"
 	"idnlab/internal/idna"
 	"idnlab/internal/simrand"
@@ -74,6 +82,7 @@ func run() error {
 		targets     = flag.String("targets", "", "comma-separated addresses to spread load across (overrides -addr)")
 		duration    = flag.Duration("duration", 10*time.Second, "load duration")
 		concurrency = flag.Int("concurrency", 32, "concurrent request workers")
+		singlesConc = flag.Int("singles-concurrency", 0, "replace the mixed pool with N singles-only workers (0 = mixed pool)")
 		batchFrac   = flag.Float64("batch-frac", 0.0, "fraction of requests sent as batches")
 		batchSize   = flag.Int("batch-size", 32, "labels per batch request")
 		zipfExp     = flag.Float64("zipf", 1.1, "zipf exponent of the label stream")
@@ -97,6 +106,7 @@ func run() error {
 	return runLoad(bases, loadConfig{
 		duration:    *duration,
 		concurrency: *concurrency,
+		singlesConc: *singlesConc,
 		batchFrac:   *batchFrac,
 		batchSize:   *batchSize,
 		zipfExp:     *zipfExp,
@@ -134,6 +144,7 @@ func parseTargets(targets, addr string) ([]string, error) {
 type loadConfig struct {
 	duration    time.Duration
 	concurrency int
+	singlesConc int
 	batchFrac   float64
 	batchSize   int
 	zipfExp     float64
@@ -211,23 +222,32 @@ func runLoad(bases []string, cfg loadConfig) error {
 		fmt.Fprintf(os.Stderr, "idnload: mix=%.2f, %d attack-population domains in the stream\n",
 			cfg.mix, len(malicious))
 	}
+	// -singles-concurrency replaces the mixed pool with a singles-only
+	// pool: the coalescing-friendly load shape (every request is a
+	// /v1/detect, batch-frac is ignored).
+	workers := cfg.concurrency
+	singlesOnly := cfg.singlesConc > 0
+	if singlesOnly {
+		workers = cfg.singlesConc
+		fmt.Fprintf(os.Stderr, "idnload: singles-only pool (%d workers, batch-frac ignored)\n", workers)
+	}
 	fmt.Fprintf(os.Stderr, "idnload: %d labels, zipf=%.2f, %d workers, %d targets, %s\n",
-		len(labels), cfg.zipfExp, cfg.concurrency, len(bases), cfg.duration)
+		len(labels), cfg.zipfExp, workers, len(bases), cfg.duration)
 
 	client := &http.Client{
 		Timeout: cfg.timeout,
 		Transport: &http.Transport{
-			MaxIdleConns:        cfg.concurrency * 2,
-			MaxIdleConnsPerHost: cfg.concurrency * 2,
+			MaxIdleConns:        workers * 2,
+			MaxIdleConnsPerHost: workers * 2,
 		},
 	}
 	var (
 		wg      sync.WaitGroup
 		stop    atomic.Bool
-		perWork = make([]workerStats, cfg.concurrency)
+		perWork = make([]workerStats, workers)
 	)
 	start := time.Now()
-	for w := 0; w < cfg.concurrency; w++ {
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
@@ -244,14 +264,15 @@ func runLoad(bases []string, cfg loadConfig) error {
 				return labels[zipf.Next()]
 			}
 			st.latencies = make([]time.Duration, 0, 1<<14)
+			var buf []byte // request-body encode buffer, reused across requests
 			for n := id; !stop.Load(); n++ {
 				base := bases[n%len(bases)] // per-worker round-robin over targets
 				var code int
 				var retryAfter time.Duration
-				if cfg.batchFrac > 0 && src.Float64() < cfg.batchFrac {
-					code, retryAfter = doBatch(client, base, pick, cfg.batchSize, st)
+				if !singlesOnly && cfg.batchFrac > 0 && src.Float64() < cfg.batchFrac {
+					code, retryAfter = doBatch(client, base, pick, cfg.batchSize, &buf, st)
 				} else {
-					code, retryAfter = doSingle(client, base, pick(), st)
+					code, retryAfter = doSingle(client, base, pick(), &buf, st)
 				}
 				// Honor 429 back-pressure: sleep min(Retry-After, cap)
 				// instead of re-firing into a saturated server.
@@ -304,6 +325,7 @@ func runLoad(bases []string, cfg loadConfig) error {
 			quantile(all, 0.50), quantile(all, 0.90), quantile(all, 0.99), all[len(all)-1])
 	}
 	reportServerSplit(client, bases)
+	reportCoalesce(client, bases)
 	if tot.dropped > 0 || tot.s5xx > 0 {
 		return fmt.Errorf("%d dropped, %d server errors", tot.dropped, tot.s5xx)
 	}
@@ -371,6 +393,39 @@ func reportServerSplit(client *http.Client, bases []string) {
 		det.PrefilterShed, det.PrefilterPass, det.RescoreEarlyExit)
 }
 
+// reportCoalesce scrapes /metrics from every target and, for targets
+// that are gateways with request coalescing active, reports the
+// upstream-batch amplification: how many client singles each upstream
+// call (one per coalesced window) carried. Workers and coalescing-off
+// gateways expose no windows and are skipped silently — the line only
+// appears when there is a coalescing win to report.
+func reportCoalesce(client *http.Client, bases []string) {
+	var snap struct {
+		Gateway *struct {
+			Single       uint64 `json:"single"`
+			Windows      uint64 `json:"coalesce_windows"`
+			Batched      uint64 `json:"coalesce_batched"`
+			TimerFlushes uint64 `json:"coalesce_flush_timeout"`
+		} `json:"gateway"`
+	}
+	for _, base := range bases {
+		resp, err := client.Get(base + "/metrics")
+		if err != nil {
+			continue
+		}
+		snap.Gateway = nil
+		err = json.NewDecoder(resp.Body).Decode(&snap)
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if err != nil || snap.Gateway == nil || snap.Gateway.Windows == 0 {
+			continue
+		}
+		g := snap.Gateway
+		fmt.Printf("coalesce-amplification: %.2f singles per upstream call (windows=%d, batched=%d, timer-flushes=%d)\n",
+			float64(g.Single)/float64(g.Windows), g.Windows, g.Batched, g.TimerFlushes)
+	}
+}
+
 // sleepUnless sleeps for d in small slices so a stopped run exits
 // promptly even mid-backoff.
 func sleepUnless(stop *atomic.Bool, d time.Duration) {
@@ -411,10 +466,14 @@ func record(st *workerStats, code int, lat time.Duration, labels uint64) {
 	}
 }
 
-func doSingle(client *http.Client, base, domain string, st *workerStats) (int, time.Duration) {
-	body, _ := json.Marshal(map[string]string{"domain": domain})
+// doSingle and doBatch encode request bodies with the internal/api
+// append codec into a caller-owned reusable buffer: at high worker
+// counts the per-request json.Marshal was the load generator's own
+// hottest allocation, skewing what it measures.
+func doSingle(client *http.Client, base, domain string, buf *[]byte, st *workerStats) (int, time.Duration) {
+	*buf = api.AppendDetectRequest((*buf)[:0], &api.DetectRequest{Domain: domain})
 	t0 := time.Now()
-	resp, err := client.Post(base+"/v1/detect", "application/json", bytes.NewReader(body))
+	resp, err := client.Post(base+"/v1/detect", "application/json", bytes.NewReader(*buf))
 	if err != nil {
 		st.dropped++
 		return 0, 0
@@ -425,14 +484,14 @@ func doSingle(client *http.Client, base, domain string, st *workerStats) (int, t
 	return resp.StatusCode, retryAfterOf(resp)
 }
 
-func doBatch(client *http.Client, base string, pick func() string, n int, st *workerStats) (int, time.Duration) {
+func doBatch(client *http.Client, base string, pick func() string, n int, buf *[]byte, st *workerStats) (int, time.Duration) {
 	domains := make([]string, n)
 	for i := range domains {
 		domains[i] = pick()
 	}
-	body, _ := json.Marshal(map[string][]string{"domains": domains})
+	*buf = api.AppendBatchRequest((*buf)[:0], &api.BatchRequest{Domains: domains})
 	t0 := time.Now()
-	resp, err := client.Post(base+"/v1/detect/batch", "application/json", bytes.NewReader(body))
+	resp, err := client.Post(base+"/v1/detect/batch", "application/json", bytes.NewReader(*buf))
 	if err != nil {
 		st.dropped++
 		return 0, 0

@@ -1,0 +1,194 @@
+// Coalescer integration tests: the correctness contract is that turning
+// coalescing on is invisible to clients — byte-identical responses to
+// the uncoalesced direct path — while merging concurrent singles into
+// upstream batches. Run with -race: the coalescer's window state machine
+// (size-bound flush vs timer flush) is exactly the kind of code a
+// happy-path test passes and a race detector catches.
+package cluster_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"idnlab/internal/cluster"
+)
+
+// coalesceMetrics scrapes the gateway's coalescer counters.
+func coalesceMetrics(t *testing.T, tc *testCluster) (windows, batched, timeouts uint64) {
+	t.Helper()
+	var m struct {
+		Gateway struct {
+			Windows  uint64 `json:"coalesce_windows"`
+			Batched  uint64 `json:"coalesce_batched"`
+			Timeouts uint64 `json:"coalesce_flush_timeout"`
+		} `json:"gateway"`
+	}
+	_, body := tc.get("/metrics")
+	if err := json.Unmarshal([]byte(body), &m); err != nil {
+		t.Fatalf("metrics decode: %v %q", err, body)
+	}
+	return m.Gateway.Windows, m.Gateway.Batched, m.Gateway.Timeouts
+}
+
+// ownerWorker resolves a key's ring owner to the harness worker serving
+// it, so a test can capture the uncoalesced ground-truth response by
+// posting straight to the worker.
+func (tc *testCluster) ownerWorker(key string) *testWorker {
+	tc.t.Helper()
+	owner, ok := tc.gw.Router().Owner(key)
+	if !ok {
+		tc.t.Fatalf("no owner for %q", key)
+	}
+	for _, w := range tc.workers {
+		if w.id == owner.ID {
+			return w
+		}
+	}
+	tc.t.Fatalf("owner %q not in harness", owner.ID)
+	return nil
+}
+
+// postRaw posts to an arbitrary URL and returns status + body.
+func (tc *testCluster) postRaw(url, body string) (int, string) {
+	tc.t.Helper()
+	resp, err := tc.client.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		tc.t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		tc.t.Fatalf("read %s: %v", url, err)
+	}
+	return resp.StatusCode, string(b)
+}
+
+// TestCoalescerHammerMatchesDirect is the hammer: N goroutines fire
+// singles for a fixed key set through a 2-worker coalescing gateway.
+// Every 200 body must be byte-identical to the uncoalesced direct path
+// (captured from the owning worker itself after warming its cache), and
+// the run must actually coalesce (coalesce_batched > 0) — otherwise the
+// test silently degrades into testing the direct path twice.
+func TestCoalescerHammerMatchesDirect(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	tc := startClusterWith(t, 2, 2, func(c *cluster.GatewayConfig) {
+		c.CoalesceWindow = 300 * time.Microsecond
+		c.CoalesceMax = 16
+	})
+	defer tc.shutdown(nil)
+
+	// Key set: a known homograph plus a spread of clean labels, enough
+	// keys that both workers own several.
+	keys := []string{"xn--pple-43d.com", "example.com"}
+	for i := 0; i < 22; i++ {
+		keys = append(keys, fmt.Sprintf("label-%d.com", i))
+	}
+
+	// Ground truth: warm each key at its owning worker (first request
+	// populates the cache), then capture the steady cached:true body.
+	// The coalesced path must reproduce these bytes exactly — including
+	// cached:true, because worker batch items resolve through the same
+	// per-key cache as singles.
+	expected := make(map[string]string, len(keys))
+	for _, k := range keys {
+		w := tc.ownerWorker(k)
+		body := fmt.Sprintf(`{"domain":%q}`, k)
+		if code, _ := tc.postRaw(w.ts.URL+"/v1/detect", body); code != 200 {
+			t.Fatalf("warm %s at %s: status %d", k, w.id, code)
+		}
+		code, resp := tc.postRaw(w.ts.URL+"/v1/detect", body)
+		if code != 200 || !strings.Contains(resp, `"cached":true`) {
+			t.Fatalf("steady-state %s at %s: %d %q", k, w.id, code, resp)
+		}
+		expected[k] = resp
+	}
+
+	const (
+		goroutines = 40
+		perG       = 150
+	)
+	var (
+		wg       sync.WaitGroup
+		ok2xx    atomic.Uint64
+		shed     atomic.Uint64
+		mismatch atomic.Uint64
+		firstBad atomic.Value // string: first diverging (key, got) pair
+	)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				k := keys[(g+i)%len(keys)]
+				code, body := tc.post("/v1/detect", fmt.Sprintf(`{"domain":%q}`, k))
+				switch {
+				case code == 200:
+					ok2xx.Add(1)
+					if body != expected[k] {
+						mismatch.Add(1)
+						firstBad.CompareAndSwap(nil, fmt.Sprintf("key=%s got=%q want=%q", k, body, expected[k]))
+					}
+				case code == 429:
+					shed.Add(1) // back-pressure, not an error
+				default:
+					mismatch.Add(1)
+					firstBad.CompareAndSwap(nil, fmt.Sprintf("key=%s status=%d body=%q", k, code, body))
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	if mismatch.Load() != 0 {
+		t.Fatalf("%d coalesced responses diverged from the direct path; first: %s",
+			mismatch.Load(), firstBad.Load())
+	}
+	if ok2xx.Load() < goroutines*perG/2 {
+		t.Fatalf("hammer barely ran: %d ok, %d shed", ok2xx.Load(), shed.Load())
+	}
+	windows, batched, timeouts := coalesceMetrics(t, tc)
+	t.Logf("coalescer: %d ok, %d shed; windows=%d batched=%d timer-flushes=%d",
+		ok2xx.Load(), shed.Load(), windows, batched, timeouts)
+	if batched == 0 {
+		t.Fatal("hammer never coalesced: coalesce_batched == 0 (window too small for the harness?)")
+	}
+}
+
+// TestCoalescerLoneRequestFlushes pins the starvation backstop: a single
+// request on a quiet gateway must not wait for CoalesceMax-1 peers that
+// will never arrive — the window timer flushes it within CoalesceWindow,
+// and the flush is counted as a timer flush.
+func TestCoalescerLoneRequestFlushes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	tc := startClusterWith(t, 1, 1, func(c *cluster.GatewayConfig) {
+		c.CoalesceWindow = 5 * time.Millisecond
+		c.CoalesceMax = 64
+	})
+	defer tc.shutdown(nil)
+
+	start := time.Now()
+	code, body := tc.post("/v1/detect", `{"domain":"xn--pple-43d.com"}`)
+	elapsed := time.Since(start)
+	if code != 200 || !strings.Contains(body, `"flagged":true`) {
+		t.Fatalf("lone coalesced detect: %d %q", code, body)
+	}
+	// Generous bound: the request must clear in timer-flush time, not
+	// hang until some other traffic fills the window.
+	if elapsed > time.Second {
+		t.Fatalf("lone request took %s — window never timer-flushed", elapsed)
+	}
+	windows, _, timeouts := coalesceMetrics(t, tc)
+	if windows < 1 || timeouts < 1 {
+		t.Fatalf("timer flush not counted: windows=%d timer-flushes=%d", windows, timeouts)
+	}
+}

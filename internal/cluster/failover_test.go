@@ -82,6 +82,14 @@ type testWorker struct {
 // startCluster boots a gateway (fast failure-detection windows) and n
 // workers that register through the real peer heartbeat loop.
 func startCluster(t *testing.T, n int, minReady int) *testCluster {
+	return startClusterWith(t, n, minReady, nil)
+}
+
+// startClusterWith is startCluster with a gateway-config hook: mutate
+// (when non-nil) runs on the assembled config before NewGateway, so
+// tests can flip features like request coalescing without duplicating
+// the harness.
+func startClusterWith(t *testing.T, n int, minReady int, mutate func(*cluster.GatewayConfig)) *testCluster {
 	t.Helper()
 	tr := &http.Transport{MaxIdleConns: 64, MaxIdleConnsPerHost: 16}
 	tc := &testCluster{
@@ -89,7 +97,7 @@ func startCluster(t *testing.T, n int, minReady int) *testCluster {
 		tr:     tr,
 		client: &http.Client{Timeout: 5 * time.Second, Transport: tr},
 	}
-	tc.gw = cluster.NewGateway(cluster.GatewayConfig{
+	cfg := cluster.GatewayConfig{
 		NodeID: "gw-test",
 		Membership: cluster.MembershipConfig{
 			HeartbeatInterval: 100 * time.Millisecond,
@@ -111,7 +119,11 @@ func startCluster(t *testing.T, n int, minReady int) *testCluster {
 		// deadline fails the run as "context deadline exceeded" without
 		// any real bug.
 		DrainTimeout: 10 * time.Second,
-	})
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	tc.gw = cluster.NewGateway(cfg)
 	gwCtx, gwStop := context.WithCancel(context.Background())
 	tc.gwStop = gwStop
 	tc.gwDone = make(chan error, 1)

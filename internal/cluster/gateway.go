@@ -43,6 +43,15 @@ type GatewayConfig struct {
 	MinReady int
 	// DrainTimeout bounds graceful shutdown (default 5s).
 	DrainTimeout time.Duration
+	// CoalesceWindow, when > 0, enables single-request coalescing:
+	// concurrent POST /v1/detect requests for the same ring owner are
+	// held for at most this long (sensible range 250µs–1ms) and merged
+	// into one upstream /v1/detect/batch call. 0 disables coalescing.
+	CoalesceWindow time.Duration
+	// CoalesceMax bounds how many singles one window may merge; a full
+	// window flushes immediately without waiting out CoalesceWindow
+	// (default 64; must not exceed MaxBatch).
+	CoalesceMax int
 }
 
 func (c GatewayConfig) withDefaults() GatewayConfig {
@@ -67,6 +76,12 @@ func (c GatewayConfig) withDefaults() GatewayConfig {
 	if c.DrainTimeout <= 0 {
 		c.DrainTimeout = 5 * time.Second
 	}
+	if c.CoalesceMax <= 0 {
+		c.CoalesceMax = 64
+	}
+	if c.CoalesceMax > c.MaxBatch {
+		c.CoalesceMax = c.MaxBatch
+	}
 	return c
 }
 
@@ -80,6 +95,13 @@ type gwMetrics struct {
 	labels      atomic.Uint64
 	subBatches  atomic.Uint64
 	localErrors atomic.Uint64 // invalid domains answered at the edge
+
+	// Coalescer counters: windows dispatched, singles that rode a merged
+	// (≥2-call) window, and windows flushed by the timer rather than the
+	// size bound.
+	coalWindows  atomic.Uint64
+	coalBatched  atomic.Uint64
+	coalTimeouts atomic.Uint64
 
 	status2xx atomic.Uint64
 	status4xx atomic.Uint64
@@ -145,6 +167,7 @@ type Gateway struct {
 	mem      *Membership
 	router   *Router
 	scatter  *pipeline.Engine[subBatch, subResult, struct{}]
+	coal     *coalescer // nil unless CoalesceWindow > 0
 	metrics  *gwMetrics
 	draining atomic.Bool
 }
@@ -168,6 +191,9 @@ func NewGateway(cfg GatewayConfig) *Gateway {
 		func(_ struct{}, sb subBatch) (subResult, bool, error) {
 			return g.forwardSubBatch(sb)
 		})
+	if cfg.CoalesceWindow > 0 {
+		g.coal = newCoalescer(g)
+	}
 	return g
 }
 
@@ -186,16 +212,17 @@ func (g *Gateway) Draining() bool { return g.draining.Load() }
 // status.
 func (g *Gateway) forwardSubBatch(sb subBatch) (subResult, bool, error) {
 	g.metrics.subBatches.Add(1)
-	body, err := json.Marshal(api.BatchRequest{Domains: sb.domains})
-	if err != nil {
-		return subResult{}, false, err
-	}
+	// The append codec is infallible for requests (no floats on the
+	// request side), which is also why the old ignored-json.Marshal-error
+	// hazard no longer exists on the forward path.
+	body := api.AppendBatchRequest(nil, &api.BatchRequest{Domains: sb.domains})
 	// The engine's Func has no ctx parameter; the request deadline rides
 	// in on the subBatch (set by handleBatch before dispatch).
 	rep, err := g.router.Do(sb.ctx(), sb.key, http.MethodPost, "/v1/detect/batch", body)
 	if err != nil {
 		return subResult{}, false, err
 	}
+	defer rep.Release() // the decoder copies every string out of Body
 	switch rep.Status {
 	case http.StatusOK:
 	case http.StatusTooManyRequests:
@@ -203,8 +230,8 @@ func (g *Gateway) forwardSubBatch(sb subBatch) (subResult, bool, error) {
 	default:
 		return subResult{}, false, fmt.Errorf("node %s: unexpected status %d", rep.NodeID, rep.Status)
 	}
-	var br api.BatchResponse
-	if err := json.Unmarshal(rep.Body, &br); err != nil {
+	br, err := api.DecodeBatchResponseBytes(rep.Body)
+	if err != nil {
 		return subResult{}, false, fmt.Errorf("node %s: bad batch reply: %v", rep.NodeID, err)
 	}
 	if len(br.Results) != len(sb.domains) {
@@ -297,21 +324,62 @@ func (g *Gateway) handleDetect(w http.ResponseWriter, r *http.Request) {
 		})
 		return
 	}
+	if g.coal != nil {
+		g.detectCoalesced(w, r, n.ACE)
+		return
+	}
 	// Forward the ACE form: it is the partition key, the worker's cache
-	// key, and re-normalizes in the worker for free.
-	body, _ := json.Marshal(api.DetectRequest{Domain: n.ACE})
+	// key, and re-normalizes in the worker for free. The append codec is
+	// infallible here (string-only body), so the former silent
+	// json.Marshal-error path — which forwarded an empty body — is gone
+	// by construction.
+	body := api.AppendDetectRequest(nil, &api.DetectRequest{Domain: n.ACE})
 	rep, err := g.router.DoHedged(r.Context(), n.ACE, http.MethodPost, "/v1/detect", body)
 	if err != nil {
 		g.writeError(w, err)
 		return
 	}
 	g.metrics.labels.Add(1)
+	g.passthrough(w, rep)
+}
+
+// passthrough relays a routed Reply verbatim — status, Retry-After and
+// body — then releases the pooled body.
+func (g *Gateway) passthrough(w http.ResponseWriter, rep Reply) {
 	if rep.RetryAfter != "" {
 		w.Header().Set("Retry-After", rep.RetryAfter)
 	}
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	w.WriteHeader(rep.Status)
 	_, _ = w.Write(rep.Body)
+	rep.Release()
+}
+
+// detectCoalesced routes one normalized single through the coalescer
+// and waits for the demultiplexed result (or the caller's deadline —
+// the buffered result channel means an abandoned wait cannot block the
+// flush).
+func (g *Gateway) detectCoalesced(w http.ResponseWriter, r *http.Request, ace string) {
+	call, err := g.coal.submit(ace)
+	if err != nil {
+		g.writeError(w, err)
+		return
+	}
+	select {
+	case res := <-call.done:
+		if res.err != nil {
+			g.writeError(w, res.err)
+			return
+		}
+		g.metrics.labels.Add(1)
+		if res.direct {
+			g.passthrough(w, res.rep)
+			return
+		}
+		api.WriteDetect(w, http.StatusOK, &res.resp)
+	case <-r.Context().Done():
+		g.writeError(w, r.Context().Err())
+	}
 }
 
 func (g *Gateway) handleBatch(w http.ResponseWriter, r *http.Request) {
@@ -372,7 +440,7 @@ func (g *Gateway) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	g.metrics.labels.Add(uint64(len(req.Domains)))
-	api.WriteJSON(w, http.StatusOK, resp)
+	api.WriteBatch(w, http.StatusOK, &resp)
 }
 
 func (g *Gateway) handleJoin(w http.ResponseWriter, r *http.Request) {
@@ -491,6 +559,11 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			"status4xx":   m.status4xx.Load(),
 			"status429":   m.status429.Load(),
 			"status5xx":   m.status5xx.Load(),
+			// Always present (zero when coalescing is off) so scrapers
+			// need no feature detection.
+			"coalesce_windows":       m.coalWindows.Load(),
+			"coalesce_batched":       m.coalBatched.Load(),
+			"coalesce_flush_timeout": m.coalTimeouts.Load(),
 		},
 		"latency": m.latency.Stats(),
 		"scatter": g.scatter.Metrics().JSON(),

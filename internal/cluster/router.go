@@ -44,6 +44,11 @@ type RouterConfig struct {
 	// Client overrides the HTTP client (default: pooled transport with
 	// sane limits).
 	Client Doer
+	// MaxIdleConns / MaxIdleConnsPerHost tune the default transport's
+	// connection pool (defaults 256 / 64). Ignored when Client is set:
+	// a custom Doer owns its own pooling.
+	MaxIdleConns        int
+	MaxIdleConnsPerHost int
 	// MaxReplyBytes bounds how much of a node's reply body is read
 	// (default 8MiB).
 	MaxReplyBytes int64
@@ -61,11 +66,17 @@ func (c RouterConfig) withDefaults() RouterConfig {
 	if c.MaxBackoff <= 0 {
 		c.MaxBackoff = 100 * time.Millisecond
 	}
+	if c.MaxIdleConns <= 0 {
+		c.MaxIdleConns = 256
+	}
+	if c.MaxIdleConnsPerHost <= 0 {
+		c.MaxIdleConnsPerHost = 64
+	}
 	if c.Client == nil {
 		c.Client = &http.Client{
 			Transport: &http.Transport{
-				MaxIdleConns:        256,
-				MaxIdleConnsPerHost: 64,
+				MaxIdleConns:        c.MaxIdleConns,
+				MaxIdleConnsPerHost: c.MaxIdleConnsPerHost,
 				IdleConnTimeout:     60 * time.Second,
 			},
 		}
@@ -84,6 +95,13 @@ func (c RouterConfig) withDefaults() RouterConfig {
 // to back off — it must pass through untouched, Retry-After and all);
 // transport errors and 5xx are failures that advance to the next
 // candidate.
+//
+// Ownership: Body may be backed by a pooled buffer. The consumer that
+// receives a Reply owns it and must call Release once Body is no longer
+// referenced (copy out anything that outlives the call, or use Detach).
+// Never releasing is safe — the buffer just falls to the GC instead of
+// the pool — but referencing Body after Release is a data race with the
+// next request that draws the buffer.
 type Reply struct {
 	NodeID     string
 	Status     int
@@ -91,6 +109,45 @@ type Reply struct {
 	RetryAfter string // Retry-After header, when present
 	Attempts   int
 	Hedged     bool // answered by a hedge, not the primary
+
+	pooled *[]byte // pool token; nil once released or detached
+}
+
+// replyBufPool recycles reply-body buffers across upstream exchanges —
+// on the proxied-singles hot path this removes the largest per-request
+// allocation the gateway makes (the worker's response body).
+var replyBufPool = sync.Pool{
+	New: func() any { b := make([]byte, 0, 16<<10); return &b },
+}
+
+// maxPooledReply caps what Release returns to the pool so one oversized
+// batch reply cannot pin megabytes per pool shard.
+const maxPooledReply = 1 << 20
+
+// Release returns the reply's body buffer to the pool. Idempotent.
+func (r *Reply) Release() {
+	p := r.pooled
+	if p == nil {
+		return
+	}
+	r.pooled, r.Body = nil, nil
+	if cap(*p) > maxPooledReply {
+		return
+	}
+	*p = (*p)[:0]
+	replyBufPool.Put(p)
+}
+
+// Detach unhooks Body from the pool: the buffer goes back for reuse and
+// Body becomes a private copy the caller may retain indefinitely. Used
+// by consumers that store bodies past the request (merged /metrics).
+func (r *Reply) Detach() {
+	if r.pooled == nil {
+		return
+	}
+	body := append([]byte(nil), r.Body...)
+	r.Release()
+	r.Body = body
 }
 
 // ringCache is the epoch-tagged compiled ring.
@@ -213,11 +270,32 @@ func (r *Router) try(ctx context.Context, nd NodeInfo, method, path string, body
 		return Reply{}, err
 	}
 	defer resp.Body.Close()
-	b, err := io.ReadAll(io.LimitReader(resp.Body, r.cfg.MaxReplyBytes))
-	if err != nil {
-		return Reply{}, err
+	// Read the body into a pooled buffer (grow-in-place, truncating at
+	// MaxReplyBytes exactly like the previous io.ReadAll/LimitReader
+	// pair). The buffer travels with the Reply; see Reply's ownership
+	// contract.
+	pooled := replyBufPool.Get().(*[]byte)
+	b := (*pooled)[:0]
+	lr := io.LimitReader(resp.Body, r.cfg.MaxReplyBytes)
+	for {
+		if len(b) == cap(b) {
+			b = append(b, 0)[:len(b)]
+		}
+		n, rerr := lr.Read(b[len(b):cap(b)])
+		b = b[:len(b)+n]
+		if rerr == io.EOF {
+			break
+		}
+		if rerr != nil {
+			*pooled = b[:0]
+			replyBufPool.Put(pooled)
+			return Reply{}, rerr
+		}
 	}
+	*pooled = b
 	if resp.StatusCode >= 500 {
+		*pooled = b[:0]
+		replyBufPool.Put(pooled)
 		return Reply{}, fmt.Errorf("node %s: status %d", nd.ID, resp.StatusCode)
 	}
 	return Reply{
@@ -225,6 +303,7 @@ func (r *Router) try(ctx context.Context, nd NodeInfo, method, path string, body
 		Status:     resp.StatusCode,
 		Body:       b,
 		RetryAfter: resp.Header.Get("Retry-After"),
+		pooled:     pooled,
 	}, nil
 }
 
@@ -397,7 +476,8 @@ func (r *Router) DoHedged(ctx context.Context, key, method, path string, body []
 
 // Broadcast fans one GET out to every routable node concurrently and
 // returns the per-node replies (nil body entries for nodes that
-// failed). Used for merged /metrics.
+// failed). Bodies are detached from the pool — callers own them
+// outright and may retain them (merged /metrics does exactly that).
 func (r *Router) Broadcast(ctx context.Context, path string) map[string]Reply {
 	_, nodes := r.mem.Routable()
 	out := make(map[string]Reply, len(nodes))
@@ -408,6 +488,9 @@ func (r *Router) Broadcast(ctx context.Context, path string) map[string]Reply {
 		go func(nd NodeInfo) {
 			defer wg.Done()
 			rep, err := r.try(ctx, nd, http.MethodGet, path, nil)
+			if err == nil {
+				rep.Detach()
+			}
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {

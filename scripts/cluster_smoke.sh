@@ -4,8 +4,12 @@
 # the full `idnload -smoke` request set THROUGH the gateway, SIGKILLs
 # one worker, re-runs the smoke set against the survivors (the killed
 # worker's key range must reassign with no client-visible errors), then
-# SIGTERMs everything and asserts clean drains. Run via
-# `make cluster-smoke`.
+# SIGTERMs everything and asserts clean drains.
+#
+# Phase 2 repeats the drill with request coalescing enabled (-coalesce
+# 500us): a singles-only idnload runs live THROUGH a worker SIGKILL and
+# must finish with zero non-429 errors — merged windows failing over is
+# the coalescer's hardest path. Run via `make cluster-smoke`.
 set -eu
 
 GO=${GO:-go}
@@ -85,4 +89,55 @@ PIDS=""
 [ "$STATUS" -eq 0 ] || { echo "cluster-smoke: gateway exited $STATUS:"; cat "$TMP/gateway.log"; exit 1; }
 grep -q "drained cleanly" "$TMP/gateway.log" || { echo "cluster-smoke: gateway no clean-drain marker:"; cat "$TMP/gateway.log"; exit 1; }
 
-echo "cluster-smoke: ok (gateway + 2 workers, worker kill, clean drains)"
+echo "cluster-smoke: phase 1 ok (gateway + 2 workers, worker kill, clean drains)"
+
+# --- Phase 2: coalescing gateway, worker SIGKILL under live load ------
+"$TMP/idngateway" -listen 127.0.0.1:0 -heartbeat 200ms -min-ready 2 -coalesce 500us >"$TMP/gateway2.log" 2>&1 &
+GW=$!
+PIDS="$GW"
+wait_line "$TMP/gateway2.log" "^idngateway: listening on" "$GW" "idngateway(coalescing)"
+GWADDR=$(sed -n 's/^idngateway: listening on \([^ ]*\).*/\1/p' "$TMP/gateway2.log")
+echo "cluster-smoke: coalescing gateway up at $GWADDR"
+
+"$TMP/idnserve" -listen 127.0.0.1:0 -brands 1000 -node w3 -join "$GWADDR" >"$TMP/w3.log" 2>&1 &
+W3=$!
+PIDS="$PIDS $W3"
+"$TMP/idnserve" -listen 127.0.0.1:0 -brands 1000 -node w4 -join "$GWADDR" >"$TMP/w4.log" 2>&1 &
+W4=$!
+PIDS="$PIDS $W4"
+wait_line "$TMP/gateway2.log" "^idngateway: serving 2 workers" "$GW" "idngateway(coalescing) quorum"
+
+# The smoke correctness set must be invisible to coalescing: same
+# verdicts, same caching, same error taxonomy, byte-identical bodies.
+"$TMP/idnload" -addr "$GWADDR" -smoke
+echo "cluster-smoke: smoke via coalescing gateway ok"
+
+# Singles-only live load (the coalescing-friendly shape), with a worker
+# SIGKILLed mid-stream: merged windows in flight to the dead worker must
+# retry or fail over without a single client-visible non-429 error.
+"$TMP/idnload" -addr "$GWADDR" -duration 6s -singles-concurrency 32 >"$TMP/load_coal.log" 2>&1 &
+LOAD=$!
+sleep 2
+kill -KILL "$W3"
+PIDS="$GW $W4"
+echo "cluster-smoke: killed worker w3 (SIGKILL) under coalesced load"
+STATUS=0; wait "$LOAD" || STATUS=$?
+cat "$TMP/load_coal.log"
+[ "$STATUS" -eq 0 ] || { echo "cluster-smoke: coalesced load exited $STATUS"; exit 1; }
+grep -q "error-rate: 0.00%" "$TMP/load_coal.log" || {
+    echo "cluster-smoke: non-429 errors during coalesced failover"; exit 1; }
+grep -q "^coalesce-amplification: " "$TMP/load_coal.log" || {
+    echo "cluster-smoke: coalescing never engaged (no amplification line)"; exit 1; }
+
+kill -TERM "$W4"
+STATUS=0; wait "$W4" || STATUS=$?
+[ "$STATUS" -eq 0 ] || { echo "cluster-smoke: w4 exited $STATUS:"; cat "$TMP/w4.log"; exit 1; }
+grep -q "drained cleanly" "$TMP/w4.log" || { echo "cluster-smoke: w4 no clean-drain marker:"; cat "$TMP/w4.log"; exit 1; }
+
+kill -TERM "$GW"
+STATUS=0; wait "$GW" || STATUS=$?
+PIDS=""
+[ "$STATUS" -eq 0 ] || { echo "cluster-smoke: coalescing gateway exited $STATUS:"; cat "$TMP/gateway2.log"; exit 1; }
+grep -q "drained cleanly" "$TMP/gateway2.log" || { echo "cluster-smoke: coalescing gateway no clean-drain marker:"; cat "$TMP/gateway2.log"; exit 1; }
+
+echo "cluster-smoke: ok (plain + coalescing phases, worker kills, clean drains)"

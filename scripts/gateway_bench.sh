@@ -1,0 +1,140 @@
+#!/bin/sh
+# gateway_bench.sh — the request-coalescing + zero-alloc wire-path
+# benchmark behind BENCH_gateway.json. Two measurements:
+#
+#   1. Codec microbenchmarks: the internal/api append encoders and the
+#      pooled streaming decoder vs the recorded encoding/json baseline
+#      (BENCH_baseline_gateway.txt). Hard gate: 0 allocs/op on every
+#      encoder — an allocation regression on the wire hot path fails
+#      the build even in noisy CI timing.
+#
+#   2. Proxied-singles throughput: idngateway + 2 rate-capped idnserve
+#      workers under a singles-only idnload, once with coalescing off
+#      and once with -coalesce 500us. The rate cap models fixed
+#      per-node capacity (same single-machine-honesty methodology as
+#      cluster_bench.sh): uncoalesced, every client single costs one
+#      worker admission token; coalesced, a merged window of N costs
+#      one. Sustained 2xx QPS therefore measures exactly the win the
+#      coalescer exists for. Hard gate: coalesced ok-QPS >= 1.5x
+#      uncoalesced ok-QPS.
+#
+# Usage: sh scripts/gateway_bench.sh [DURATION] [RATE]
+set -eu
+
+GO=${GO:-go}
+DURATION=${1:-8s}
+RATE=${2:-500}
+CODEC_BENCHTIME=${CODEC_BENCHTIME:-1s}
+OUT=${OUT:-BENCH_gateway.json}
+TMP=$(mktemp -d)
+PIDS=""
+cleanup() {
+    for p in $PIDS; do kill "$p" 2>/dev/null || true; done
+    rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+# --- Codec microbenchmarks (zero-alloc gate) --------------------------
+echo "gateway-bench: codec microbenchmarks (benchtime=$CODEC_BENCHTIME)..."
+"$GO" test -run='^$' \
+    -bench '^(BenchmarkEncodeDetectResponse|BenchmarkEncodeBatchResponse64|BenchmarkEncodeDetectRequest|BenchmarkEncodeBatchRequest64|BenchmarkDecodeBatchResponse64)$' \
+    -benchmem -benchtime="$CODEC_BENCHTIME" ./internal/api/ >"$TMP/codec.txt"
+"$GO" run ./cmd/benchjson \
+    -baseline BENCH_baseline_gateway.txt \
+    -out "$TMP/codec.json" \
+    -require-zero-allocs BenchmarkEncodeDetectResponse,BenchmarkEncodeBatchResponse64,BenchmarkEncodeDetectRequest,BenchmarkEncodeBatchRequest64 \
+    <"$TMP/codec.txt"
+
+echo "gateway-bench: building binaries..."
+"$GO" build -o "$TMP/idnserve" ./cmd/idnserve
+"$GO" build -o "$TMP/idngateway" ./cmd/idngateway
+"$GO" build -o "$TMP/idnload" ./cmd/idnload
+
+wait_line() {
+    _file=$1; _pat=$2; _pid=$3; _name=$4
+    for i in $(seq 1 100); do
+        if grep -q "$_pat" "$_file" 2>/dev/null; then return 0; fi
+        kill -0 "$_pid" 2>/dev/null || { echo "gateway-bench: $_name died:"; cat "$_file"; exit 1; }
+        sleep 0.1
+    done
+    echo "gateway-bench: $_name never became ready:"; cat "$_file"; exit 1
+}
+
+# ok_qps LOGFILE — extract the sustained 2xx rate from idnload output.
+ok_qps() {
+    sed -n 's/^ok: \([0-9][0-9]*\) req\/s (2xx)$/\1/p' "$1" | tail -1
+}
+
+# p99 LOGFILE — extract the p99 latency from idnload output.
+p99() {
+    sed -n 's/^latency: .*p99=\([^ ]*\).*/\1/p' "$1" | tail -1
+}
+
+# run_phase NAME GATEWAY_EXTRA_FLAGS — boot gateway + 2 capped workers,
+# run the singles-only load, leave logs at $TMP/load_$NAME.log.
+run_phase() {
+    _phase=$1; shift
+    "$TMP/idngateway" -listen 127.0.0.1:0 -min-ready 2 "$@" >"$TMP/gw_$_phase.log" 2>&1 &
+    GW=$!
+    PIDS="$GW"
+    wait_line "$TMP/gw_$_phase.log" "^idngateway: listening on" "$GW" "idngateway"
+    GWADDR=$(sed -n 's/^idngateway: listening on \([^ ]*\).*/\1/p' "$TMP/gw_$_phase.log")
+    for i in 1 2; do
+        "$TMP/idnserve" -listen 127.0.0.1:0 -brands 1000 -rate "$RATE" -node "w$i" -join "$GWADDR" >"$TMP/${_phase}_w$i.log" 2>&1 &
+        PIDS="$PIDS $!"
+    done
+    wait_line "$TMP/gw_$_phase.log" "^idngateway: serving 2 workers" "$GW" "idngateway quorum"
+
+    "$TMP/idnload" -addr "$GWADDR" -duration 2s -singles-concurrency 32 >/dev/null 2>&1 || true
+    "$TMP/idnload" -addr "$GWADDR" -duration "$DURATION" -singles-concurrency 64 >"$TMP/load_$_phase.log" 2>&1 || {
+        echo "gateway-bench: $_phase load failed:"; cat "$TMP/load_$_phase.log"; exit 1; }
+    cat "$TMP/load_$_phase.log"
+
+    for p in $PIDS; do kill -TERM "$p" 2>/dev/null || true; done
+    for p in $PIDS; do wait "$p" 2>/dev/null || true; done
+    PIDS=""
+}
+
+# --- Phase 1: proxied singles, coalescing off -------------------------
+echo "gateway-bench: phase 1 — gateway + 2 workers, coalescing off (rate=$RATE/s each)..."
+run_phase plain
+PLAIN_QPS=$(ok_qps "$TMP/load_plain.log")
+PLAIN_P99=$(p99 "$TMP/load_plain.log")
+[ -n "$PLAIN_QPS" ] || { echo "gateway-bench: no ok-QPS line in uncoalesced output"; exit 1; }
+
+# --- Phase 2: proxied singles, coalescing on --------------------------
+echo "gateway-bench: phase 2 — same topology, -coalesce 500us..."
+run_phase coal -coalesce 500us -coalesce-max 64
+COAL_QPS=$(ok_qps "$TMP/load_coal.log")
+COAL_P99=$(p99 "$TMP/load_coal.log")
+[ -n "$COAL_QPS" ] || { echo "gateway-bench: no ok-QPS line in coalesced output"; exit 1; }
+AMP=$(sed -n 's/^coalesce-amplification: \(.*\)$/\1/p' "$TMP/load_coal.log" | tail -1)
+
+# --- Report -----------------------------------------------------------
+SPEEDUP=$(awk "BEGIN { printf \"%.2f\", $COAL_QPS / $PLAIN_QPS }")
+CODEC_JSON=$(cat "$TMP/codec.json")
+cat >"$OUT" <<EOF
+{
+  "benchmark": "gateway-coalescing",
+  "methodology": "Per-node token-bucket rate cap (-rate) models fixed per-node capacity; idnload runs a singles-only pool (-singles-concurrency) and honors Retry-After, so sustained 2xx QPS converges on admitted capacity. Uncoalesced, one client single costs one worker admission token; with -coalesce 500us a merged window costs one token. codec = internal/api append-encoder/streaming-decoder microbenchmarks vs the recorded encoding/json baseline.",
+  "config": {
+    "ratePerNode": $RATE,
+    "duration": "$DURATION",
+    "workers": 2,
+    "singlesConcurrency": 64,
+    "coalesceWindow": "500us",
+    "coalesceMax": 64
+  },
+  "proxiedSingles": { "okQPS": $PLAIN_QPS, "p99": "$PLAIN_P99" },
+  "coalesced":      { "okQPS": $COAL_QPS, "p99": "$COAL_P99", "amplification": "$AMP" },
+  "speedup": $SPEEDUP,
+  "codec": $CODEC_JSON
+}
+EOF
+echo "gateway-bench: plain=$PLAIN_QPS ok/s (p99=$PLAIN_P99), coalesced=$COAL_QPS ok/s (p99=$COAL_P99), speedup=${SPEEDUP}x -> $OUT"
+[ -n "$AMP" ] && echo "gateway-bench: $AMP"
+
+# Acceptance gate: coalescing must buy >= 1.5x sustained 2xx throughput.
+awk "BEGIN { exit !($SPEEDUP >= 1.5) }" || {
+    echo "gateway-bench: FAIL — speedup ${SPEEDUP}x < 1.5x"; exit 1; }
+echo "gateway-bench: ok (>= 1.5x coalescing win verified)"
