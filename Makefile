@@ -39,8 +39,18 @@ STAT_BENCH_PATTERN = ^(BenchmarkStatClassify|BenchmarkStatClassifyNaive|Benchmar
 GATEWAY_CODEC_BENCHTIME ?= 1s
 GATEWAY_BENCH_DURATION ?= 8s
 GATEWAY_BENCH_RATE ?= 500
+# Knobs for bench-store: the warm-boot corpus size (1M verdicts for the
+# publishable warm-boot budget; CI uses 200k — the >= 100k entries/s
+# recovery gate is a rate, so it holds at any corpus size), the vstore
+# microbench benchtime, the replication-overhead load duration and the
+# per-worker rate cap. CI smoke: `make bench-store STORE_BENCH_RECORDS=200000
+# STORE_BENCHTIME=0.3s STORE_BENCH_DURATION=4s`.
+STORE_BENCH_RECORDS ?= 1000000
+STORE_BENCHTIME ?= 1s
+STORE_BENCH_DURATION ?= 8s
+STORE_BENCH_RATE ?= 500
 
-.PHONY: all build vet test race bench bench-ssim bench-report bench-index bench-watch bench-stat bench-gateway report fuzz fuzz-smoke serve-smoke serve-bench cluster-smoke cluster-bench index-smoke watch-smoke stat-smoke clean
+.PHONY: all build vet test race bench bench-ssim bench-report bench-index bench-watch bench-stat bench-gateway bench-store report fuzz fuzz-smoke serve-smoke serve-bench cluster-smoke cluster-bench index-smoke watch-smoke stat-smoke store-smoke clean
 
 all: build vet test
 
@@ -197,6 +207,21 @@ watch-smoke:
 # SIGTERM drain.
 stat-smoke:
 	sh scripts/stat_smoke.sh
+
+# Durable-store smoke (PR 10): gateway + 3 idnserve workers with warm
+# logs, zipfian warm-up, SIGKILL one worker under live load, restart it
+# on the same store directory, assert zero non-429 errors, a non-empty
+# warm boot, the cold-miss budget from /metrics, and clean drains.
+store-smoke:
+	sh scripts/store_smoke.sh
+
+# Durable-store benchmark (PR 10): vstore append/recovery/since
+# microbenchmarks (warm-boot budget: >= 100k entries/s so a 1M-verdict
+# partition boots in <= 10s) plus the replication-overhead comparison —
+# the cluster-bench topology memory-only vs -store — into
+# BENCH_store.json. Fails if the durable tier costs > 10% throughput.
+bench-store:
+	RECORDS=$(STORE_BENCH_RECORDS) STORE_BENCHTIME=$(STORE_BENCHTIME) sh scripts/store_bench.sh $(STORE_BENCH_DURATION) $(STORE_BENCH_RATE)
 
 # Reduced-budget fuzz pass for CI.
 fuzz-smoke:

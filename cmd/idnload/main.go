@@ -326,6 +326,7 @@ func runLoad(bases []string, cfg loadConfig) error {
 	}
 	reportServerSplit(client, bases)
 	reportCoalesce(client, bases)
+	reportStore(client, bases)
 	if tot.dropped > 0 || tot.s5xx > 0 {
 		return fmt.Errorf("%d dropped, %d server errors", tot.dropped, tot.s5xx)
 	}
@@ -423,6 +424,99 @@ func reportCoalesce(client *http.Client, bases []string) {
 		g := snap.Gateway
 		fmt.Printf("coalesce-amplification: %.2f singles per upstream call (windows=%d, batched=%d, timer-flushes=%d)\n",
 			float64(g.Single)/float64(g.Windows), g.Windows, g.Batched, g.TimerFlushes)
+	}
+}
+
+// reportStore scrapes /metrics from every target after the run and,
+// when the durable verdict store is active, reports the restart story:
+// cluster-wide store aggregates, the cold-miss rate (read-repair probes
+// that found no warm copy on any candidate and fell through to a full
+// recompute), and the recovery-window p99 — a restarted worker's
+// latency histogram starts from zero at boot, so the p99 scraped from a
+// warm-booted node covers exactly its post-restart window. Both the
+// gateway shape (per-node snapshots under "nodes") and direct worker
+// targets are understood; storeless targets are skipped silently.
+func reportStore(client *http.Client, bases []string) {
+	type storeBlock struct {
+		Loaded          bool   `json:"loaded"`
+		WarmBootEntries uint64 `json:"warmBootEntries"`
+		RepairHits      uint64 `json:"repairHits"`
+		RepairMisses    uint64 `json:"repairMisses"`
+		SyncIngested    uint64 `json:"syncIngested"`
+		ReplicationIn   uint64 `json:"replicationIn"`
+	}
+	type nodeSnap struct {
+		Store   storeBlock `json:"store"`
+		Latency struct {
+			Count     uint64  `json:"count"`
+			P99Micros float64 `json:"p99Micros"`
+		} `json:"latency"`
+	}
+	var (
+		agg          storeBlock
+		durableNodes int
+		warmNodes    int
+		warmP99      float64
+	)
+	absorb := func(n nodeSnap) {
+		if !n.Store.Loaded {
+			return
+		}
+		durableNodes++
+		agg.WarmBootEntries += n.Store.WarmBootEntries
+		agg.RepairHits += n.Store.RepairHits
+		agg.RepairMisses += n.Store.RepairMisses
+		agg.SyncIngested += n.Store.SyncIngested
+		agg.ReplicationIn += n.Store.ReplicationIn
+		if n.Store.WarmBootEntries > 0 && n.Latency.Count > 0 {
+			warmNodes++
+			if n.Latency.P99Micros > warmP99 {
+				warmP99 = n.Latency.P99Micros
+			}
+		}
+	}
+	seen := false
+	for _, base := range bases {
+		resp, err := client.Get(base + "/metrics")
+		if err != nil {
+			continue
+		}
+		var snap struct {
+			Store   storeBlock          `json:"store"`
+			Latency json.RawMessage     `json:"latency"`
+			Nodes   map[string]nodeSnap `json:"nodes"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&snap)
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			continue
+		}
+		seen = true
+		if len(snap.Nodes) > 0 { // gateway: worker snapshots ride along raw
+			for _, n := range snap.Nodes {
+				absorb(n)
+			}
+			continue
+		}
+		var n nodeSnap
+		n.Store = snap.Store
+		json.Unmarshal(snap.Latency, &n.Latency)
+		absorb(n)
+	}
+	if !seen || durableNodes == 0 {
+		return
+	}
+	fmt.Printf("store: durable-nodes=%d warm-boot=%d repair-hits=%d repair-misses=%d sync-ingested=%d replication-in=%d\n",
+		durableNodes, agg.WarmBootEntries, agg.RepairHits, agg.RepairMisses, agg.SyncIngested, agg.ReplicationIn)
+	if probes := agg.RepairHits + agg.RepairMisses; probes > 0 {
+		fmt.Printf("store-cold-miss-rate: %.2f%% (%d cold recomputes of %d repair probes)\n",
+			100*float64(agg.RepairMisses)/float64(probes), agg.RepairMisses, probes)
+	} else {
+		fmt.Println("store-cold-miss-rate: n/a (no repair probes issued)")
+	}
+	if warmNodes > 0 {
+		fmt.Printf("recovery-window-p99: %.2fms (worst of %d warm-booted nodes)\n", warmP99/1000, warmNodes)
 	}
 }
 

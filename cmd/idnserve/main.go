@@ -37,6 +37,7 @@ import (
 	"idnlab/internal/candidx"
 	"idnlab/internal/feat"
 	"idnlab/internal/serve"
+	"idnlab/internal/vstore"
 )
 
 func main() {
@@ -48,24 +49,28 @@ func main() {
 
 func run() error {
 	var (
-		listen      = flag.String("listen", "127.0.0.1:8181", "HTTP listen address (use :0 for an ephemeral port)")
-		topK        = flag.Int("brands", 1000, "number of top brands to defend")
-		threshold   = flag.Float64("threshold", 0, "SSIM detection threshold (0 = default)")
-		workers     = flag.Int("workers", 0, "batch fan-out width (0 = GOMAXPROCS)")
-		cacheSize   = flag.Int("cache", 65536, "verdict cache capacity (entries)")
-		cacheShards = flag.Int("cache-shards", 16, "verdict cache shard count")
-		maxInflight = flag.Int("max-inflight", 0, "concurrent detector work bound (0 = 4x workers)")
-		maxQueue    = flag.Int("max-queue", 0, "admission queue depth (0 = 16x max-inflight, -1 = no queue)")
-		queueWait   = flag.Duration("queue-wait", 50*time.Millisecond, "max time a request may queue for admission")
-		reqTimeout  = flag.Duration("timeout", time.Second, "per-request deadline")
-		maxBatch    = flag.Int("max-batch", 256, "max labels per batch request")
-		drain       = flag.Duration("drain", 5*time.Second, "graceful shutdown budget")
-		join        = flag.String("join", "", "idngateway address to register with (peer mode)")
-		nodeID      = flag.String("node", "", "node ID for health bodies and ring placement (default <hostname>-<pid>)")
-		advertise   = flag.String("advertise", "", "host:port the gateway should route to (default: the bound listen address)")
-		maxRPS      = flag.Int("rate", 0, "per-node request rate cap, req/s (0 = unlimited)")
-		indexPath   = flag.String("index", "", "precomputed candidate index file (built by idnindex); replaces -brands with the index's embedded catalog")
-		statPath    = flag.String("stat", "", "trained statistical model file (built by idnstat train); enables ensemble verdicts and the learned prefilter")
+		listen       = flag.String("listen", "127.0.0.1:8181", "HTTP listen address (use :0 for an ephemeral port)")
+		topK         = flag.Int("brands", 1000, "number of top brands to defend")
+		threshold    = flag.Float64("threshold", 0, "SSIM detection threshold (0 = default)")
+		workers      = flag.Int("workers", 0, "batch fan-out width (0 = GOMAXPROCS)")
+		cacheSize    = flag.Int("cache", 65536, "verdict cache capacity (entries)")
+		cacheShards  = flag.Int("cache-shards", 16, "verdict cache shard count")
+		maxInflight  = flag.Int("max-inflight", 0, "concurrent detector work bound (0 = 4x workers)")
+		maxQueue     = flag.Int("max-queue", 0, "admission queue depth (0 = 16x max-inflight, -1 = no queue)")
+		queueWait    = flag.Duration("queue-wait", 50*time.Millisecond, "max time a request may queue for admission")
+		reqTimeout   = flag.Duration("timeout", time.Second, "per-request deadline")
+		maxBatch     = flag.Int("max-batch", 256, "max labels per batch request")
+		drain        = flag.Duration("drain", 5*time.Second, "graceful shutdown budget")
+		join         = flag.String("join", "", "idngateway address to register with (peer mode)")
+		nodeID       = flag.String("node", "", "node ID for health bodies and ring placement (default <hostname>-<pid>)")
+		advertise    = flag.String("advertise", "", "host:port the gateway should route to (default: the bound listen address)")
+		maxRPS       = flag.Int("rate", 0, "per-node request rate cap, req/s (0 = unlimited)")
+		indexPath    = flag.String("index", "", "precomputed candidate index file (built by idnindex); replaces -brands with the index's embedded catalog")
+		statPath     = flag.String("stat", "", "trained statistical model file (built by idnstat train); enables ensemble verdicts and the learned prefilter")
+		storeDir     = flag.String("store", "", "durable verdict store directory (warm log + snapshots); empty = memory-only")
+		storeCompact = flag.Int64("store-compact", 8<<20, "active-log bytes that trigger snapshot compaction (-1 disables)")
+		storeNoFsync = flag.Bool("store-no-fsync", false, "skip fsyncs in the store (testing only; crashes may lose recent verdicts)")
+		syncEvery    = flag.Duration("sync-interval", 15*time.Second, "anti-entropy re-sync cadence in peer mode")
 	)
 	flag.Parse()
 
@@ -90,6 +95,19 @@ func run() error {
 			*statPath, stat.Seed(), stat.BigramCount(), stat.FlagRaw(), stat.PrefilterRaw())
 	}
 
+	var store *vstore.Store
+	if *storeDir != "" {
+		opened, err := vstore.Open(vstore.Config{Dir: *storeDir, CompactBytes: *storeCompact, NoFsync: *storeNoFsync})
+		if err != nil {
+			return fmt.Errorf("open store: %w", err)
+		}
+		store = opened
+		st := store.Stats()
+		// Stable recovery line: the store smoke harness greps it.
+		fmt.Printf("idnserve: store %s: recovered %d verdicts (seq %d, snapshot seq %d)\n",
+			*storeDir, st.WarmBootEntries, st.Seq, st.SnapshotSeq)
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -109,6 +127,8 @@ func run() error {
 		DrainTimeout:   *drain,
 		Index:          ix,
 		Stat:           stat,
+		Store:          store,
+		SyncInterval:   *syncEvery,
 	})
 
 	ready := make(chan net.Addr, 1)
@@ -138,12 +158,20 @@ func run() error {
 			p := serve.NewPeer(*join, id, adv)
 			srv.AttachPeer(p)
 			go p.Run(ctx)
+			if store != nil {
+				// Replication + anti-entropy only make sense with peers to
+				// talk to; a standalone durable node is just warm-boot.
+				go srv.RunStoreSync(ctx)
+			}
 			fmt.Printf("idnserve: joining cluster at %s as %s (%s)\n", *join, id, adv)
 		}
 	case err := <-errc:
 		return err
 	}
 	err := <-errc
+	if cerr := srv.CloseStore(); cerr != nil && err == nil {
+		err = fmt.Errorf("close store: %w", cerr)
+	}
 	if err == nil {
 		fmt.Println("idnserve: drained cleanly")
 	}

@@ -14,6 +14,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"sync"
@@ -24,6 +25,7 @@ import (
 	"idnlab/internal/cluster"
 	"idnlab/internal/feat"
 	"idnlab/internal/serve"
+	"idnlab/internal/vstore"
 )
 
 // assertNoLeakedGoroutines retries until the goroutine count settles at
@@ -68,6 +70,10 @@ type testCluster struct {
 	// stat, when set before addWorker, boots workers with the
 	// statistical model attached (ensemble verdicts end to end).
 	stat *feat.Model
+	// storeRoot, when set before addWorker, gives every worker a
+	// durable verdict store at <storeRoot>/<id> — a worker restarted
+	// under the same ID reopens its own log and boots warm.
+	storeRoot string
 }
 
 type testWorker struct {
@@ -77,6 +83,7 @@ type testWorker struct {
 	peer     *serve.Peer
 	peerStop context.CancelFunc
 	peerDone chan struct{}
+	syncDone chan struct{} // non-nil when RunStoreSync is running
 }
 
 // startCluster boots a gateway (fast failure-detection windows) and n
@@ -149,7 +156,20 @@ func startClusterWith(t *testing.T, n int, minReady int, mutate func(*cluster.Ga
 // gateway through a real peer loop.
 func (tc *testCluster) addWorker(id string) *testWorker {
 	tc.t.Helper()
-	srv := serve.NewServer(serve.Config{NodeID: id, TopK: 100, Workers: 2, Stat: tc.stat})
+	cfg := serve.Config{NodeID: id, TopK: 100, Workers: 2, Stat: tc.stat}
+	if tc.storeRoot != "" {
+		st, err := vstore.Open(vstore.Config{Dir: filepath.Join(tc.storeRoot, id), NoFsync: true})
+		if err != nil {
+			tc.t.Fatalf("open store for %s: %v", id, err)
+		}
+		cfg.Store = st
+		// Fast cluster-sync cadences: the churn test needs anti-entropy
+		// to converge inside the test window, not the production 15s.
+		cfg.SyncInterval = 250 * time.Millisecond
+		cfg.ReplicateInterval = 10 * time.Millisecond
+		cfg.RepairTimeout = 150 * time.Millisecond
+	}
+	srv := serve.NewServer(cfg)
 	ts := httptest.NewServer(srv.Handler())
 	addr := strings.TrimPrefix(ts.URL, "http://")
 	p := serve.NewPeer(tc.gwURL, id, addr)
@@ -158,8 +178,42 @@ func (tc *testCluster) addWorker(id string) *testWorker {
 	done := make(chan struct{})
 	go func() { defer close(done); p.Run(ctx) }()
 	w := &testWorker{id: id, srv: srv, ts: ts, peer: p, peerStop: stop, peerDone: done}
+	if cfg.Store != nil {
+		w.syncDone = make(chan struct{})
+		go func() { defer close(w.syncDone); srv.RunStoreSync(ctx) }()
+	}
 	tc.workers = append(tc.workers, w)
 	return w
+}
+
+// workerByID returns the most recent worker registered under id (a
+// restarted worker appends a fresh entry under the old identity).
+func (tc *testCluster) workerByID(id string) *testWorker {
+	tc.t.Helper()
+	for i := len(tc.workers) - 1; i >= 0; i-- {
+		if tc.workers[i].id == id {
+			return tc.workers[i]
+		}
+	}
+	tc.t.Fatalf("no worker %s", id)
+	return nil
+}
+
+// storeStats scrapes one worker's /metrics store block directly.
+func (tc *testCluster) storeStats(w *testWorker) serve.StoreStats {
+	tc.t.Helper()
+	resp, err := tc.client.Get(w.ts.URL + "/metrics")
+	if err != nil {
+		tc.t.Fatalf("worker %s metrics: %v", w.id, err)
+	}
+	defer resp.Body.Close()
+	var m struct {
+		Store serve.StoreStats `json:"store"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		tc.t.Fatalf("worker %s metrics decode: %v", w.id, err)
+	}
+	return m.Store
 }
 
 // kill simulates a crashed worker: the peer stops heartbeating and the
@@ -167,8 +221,18 @@ func (tc *testCluster) addWorker(id string) *testWorker {
 func (w *testWorker) kill() {
 	w.peerStop()
 	<-w.peerDone
+	if w.syncDone != nil {
+		<-w.syncDone
+	}
 	w.ts.CloseClientConnections()
 	w.ts.Close()
+	// In-process "SIGKILL" needs the old incarnation's file handles and
+	// committer goroutine released before a restart reopens the same
+	// directory; torn-tail crash semantics are covered byte-for-byte by
+	// the vstore recovery tests.
+	if err := w.srv.CloseStore(); err != nil {
+		panic(err)
+	}
 }
 
 // shutdown tears the whole cluster down in reverse order.
@@ -179,8 +243,14 @@ func (tc *testCluster) shutdown(killed map[string]bool) {
 		}
 		w.peerStop()
 		<-w.peerDone
+		if w.syncDone != nil {
+			<-w.syncDone
+		}
 		w.ts.CloseClientConnections()
 		w.ts.Close()
+		if err := w.srv.CloseStore(); err != nil {
+			tc.t.Errorf("close store %s: %v", w.id, err)
+		}
 	}
 	tc.gwStop()
 	if err := <-tc.gwDone; err != nil {
@@ -484,5 +554,160 @@ func TestWorkerResurrection(t *testing.T) {
 	_, body := tc.get("/clusterz")
 	if err := json.Unmarshal([]byte(body), &st); err != nil || st.RingSize != 2 {
 		t.Fatalf("ring after resurrection: %v %q", err, body)
+	}
+}
+
+// TestClusterChurnTenWorkers is the scaled drill the durable store
+// exists for: ten workers with per-node warm logs under sustained load
+// while half the fleet is rolled through kill + rejoin one node at a
+// time. Requirements — zero non-429 client-visible errors across the
+// whole churn, every restarted worker boots warm from its own log, the
+// gateway's aggregated store block counts all ten durable nodes again
+// once the roll completes, and no goroutine leaks after teardown.
+func TestClusterChurnTenWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	before := runtime.NumGoroutine()
+	const n = 10
+	tc := startCluster(t, 0, n-2)
+	tc.storeRoot = t.TempDir()
+	for i := 0; i < n; i++ {
+		tc.addWorker(fmt.Sprintf("w%d", i))
+	}
+	waitFor(t, 5*time.Second, "all 10 workers alive", func() bool {
+		return tc.gw.Membership().AliveCount() == n
+	})
+	defer assertNoLeakedGoroutines(t, before)
+	defer tc.shutdown(nil)
+
+	// Same load mix and error taxonomy as TestClusterFailover: repeated
+	// labels (cache traffic, the store's bread and butter) plus uniques
+	// (detector work), singles and batches, 429 counted as back-pressure.
+	var (
+		stop      atomic.Bool
+		wg        sync.WaitGroup
+		total     atomic.Uint64
+		shed      atomic.Uint64
+		badStatus atomic.Uint64
+		transport atomic.Uint64
+	)
+	classify := func(code int, err error) {
+		total.Add(1)
+		switch {
+		case err != nil:
+			transport.Add(1)
+		case code == 429:
+			shed.Add(1)
+		case code < 200 || code >= 300:
+			badStatus.Add(1)
+		}
+	}
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; !stop.Load(); i++ {
+				if i%5 == 4 {
+					domains := []string{
+						"xn--pple-43d.com",
+						fmt.Sprintf("label-%d.com", i%97),
+						fmt.Sprintf("uniq-%d-%d.com", g, i),
+					}
+					b, _ := json.Marshal(map[string][]string{"domains": domains})
+					resp, err := tc.client.Post(tc.gwURL+"/v1/detect/batch", "application/json", bytes.NewReader(b))
+					if err == nil {
+						io.Copy(io.Discard, resp.Body)
+						resp.Body.Close()
+						classify(resp.StatusCode, nil)
+					} else {
+						classify(0, err)
+					}
+					continue
+				}
+				b, _ := json.Marshal(map[string]string{"domain": fmt.Sprintf("label-%d.com", i%211)})
+				resp, err := tc.client.Post(tc.gwURL+"/v1/detect", "application/json", bytes.NewReader(b))
+				if err == nil {
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					classify(resp.StatusCode, nil)
+				} else {
+					classify(0, err)
+				}
+			}
+		}(g)
+	}
+
+	// Warm the fleet, then roll kill + rejoin through half of it. Each
+	// cycle waits for death detection and for the resurrected node to
+	// rejoin before moving on — a rolling restart, not a massacre.
+	time.Sleep(400 * time.Millisecond)
+	const churn = 5
+	for i := 0; i < churn; i++ {
+		id := fmt.Sprintf("w%d", i)
+		tc.workerByID(id).kill()
+		waitFor(t, 3*time.Second, id+" demoted to dead", func() bool {
+			return tc.nodeState(id) == "dead"
+		})
+		tc.addWorker(id)
+		waitFor(t, 3*time.Second, id+" rejoined alive", func() bool {
+			return tc.nodeState(id) == "alive"
+		})
+	}
+	// Let the rejoined nodes run at least one anti-entropy round.
+	time.Sleep(600 * time.Millisecond)
+	stop.Store(true)
+	wg.Wait()
+
+	t.Logf("churn: %d requests, %d shed(429), %d bad status, %d transport errors",
+		total.Load(), shed.Load(), badStatus.Load(), transport.Load())
+	if total.Load() < 200 {
+		t.Fatalf("load harness barely ran: %d requests", total.Load())
+	}
+	if badStatus.Load() != 0 || transport.Load() != 0 {
+		t.Fatalf("client-visible errors during rolling churn: %d bad status, %d transport",
+			badStatus.Load(), transport.Load())
+	}
+
+	// Every churned worker must have rebooted warm from its own log —
+	// that is the store's whole promise — and run anti-entropy since.
+	for i := 0; i < churn; i++ {
+		w := tc.workerByID(fmt.Sprintf("w%d", i))
+		st := tc.storeStats(w)
+		if !st.Loaded {
+			t.Fatalf("%s restarted without its store", w.id)
+		}
+		if st.WarmBootEntries == 0 {
+			t.Errorf("%s rebooted cold: 0 warm-boot entries", w.id)
+		}
+		waitFor(t, 3*time.Second, w.id+" completed an anti-entropy round", func() bool {
+			return tc.storeStats(w).SyncRounds > 0
+		})
+	}
+
+	// The gateway's merged metrics see the full durable tier again, and
+	// warm boots registered cluster-wide.
+	_, body := tc.get("/metrics")
+	var m struct {
+		Cluster struct {
+			Store struct {
+				DurableNodes    int `json:"durableNodes"`
+				WarmBootEntries int `json:"warmBootEntries"`
+			} `json:"store"`
+		} `json:"cluster"`
+	}
+	if err := json.Unmarshal([]byte(body), &m); err != nil {
+		t.Fatalf("gateway metrics decode: %v %q", err, body)
+	}
+	if m.Cluster.Store.DurableNodes != n {
+		t.Fatalf("gateway sees %d durable nodes, want %d", m.Cluster.Store.DurableNodes, n)
+	}
+	if m.Cluster.Store.WarmBootEntries == 0 {
+		t.Fatal("no warm-boot entries registered cluster-wide after a 5-node roll")
+	}
+
+	// Rejoins surfaced through the membership hook.
+	if code, body := tc.get("/metrics"); code != 200 || !strings.Contains(body, `"rejoins":`) {
+		t.Fatalf("gateway metrics missing rejoin counter: %d %q", code, body)
 	}
 }

@@ -103,6 +103,14 @@ type gwMetrics struct {
 	coalBatched  atomic.Uint64
 	coalTimeouts atomic.Uint64
 
+	// Read-repair counters (repair.go): failover replies forwarded to
+	// the key's ring owner, drops from a full queue, send failures —
+	// plus rejoins observed by membership (dead node resurrected).
+	repairForwards atomic.Uint64
+	repairDropped  atomic.Uint64
+	repairErrors   atomic.Uint64
+	rejoins        atomic.Uint64
+
 	status2xx atomic.Uint64
 	status4xx atomic.Uint64
 	status429 atomic.Uint64
@@ -169,6 +177,7 @@ type Gateway struct {
 	scatter  *pipeline.Engine[subBatch, subResult, struct{}]
 	coal     *coalescer // nil unless CoalesceWindow > 0
 	metrics  *gwMetrics
+	repairCh chan repairItem
 	draining atomic.Bool
 }
 
@@ -177,11 +186,13 @@ func NewGateway(cfg GatewayConfig) *Gateway {
 	cfg = cfg.withDefaults()
 	mem := NewMembership(cfg.Membership)
 	g := &Gateway{
-		cfg:     cfg,
-		mem:     mem,
-		router:  NewRouter(mem, cfg.Router),
-		metrics: &gwMetrics{start: time.Now()},
+		cfg:      cfg,
+		mem:      mem,
+		router:   NewRouter(mem, cfg.Router),
+		metrics:  &gwMetrics{start: time.Now()},
+		repairCh: make(chan repairItem, repairQueueSize),
 	}
+	mem.OnRejoin(func(string) { g.metrics.rejoins.Add(1) })
 	// Sub-batch fan-out reuses the streaming engine (PR 1): Batch=1
 	// because each item is itself a network round-trip, order-preserving
 	// fan-in for free, per-stage metrics surfaced at /metrics.
@@ -340,6 +351,15 @@ func (g *Gateway) handleDetect(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	g.metrics.labels.Add(1)
+	// Failover read-repair: a 200 served by a non-owner means the owner
+	// is cold for this key (rebooted, or its replica was promoted) —
+	// forward the verdict to it asynchronously (repair.go). Copied
+	// before passthrough releases the pooled body.
+	if rep.Status == http.StatusOK {
+		if owner, ok := g.router.Owner(n.ACE); ok && owner.ID != rep.NodeID {
+			g.offerRepair(owner.Addr, rep.Body)
+		}
+	}
 	g.passthrough(w, rep)
 }
 
@@ -510,6 +530,14 @@ type nodeMetricsDigest struct {
 		Coalesced uint64 `json:"coalesced"`
 		Size      int    `json:"size"`
 	} `json:"cache"`
+	Store struct {
+		Loaded          bool   `json:"loaded"`
+		WarmBootEntries int    `json:"warmBootEntries"`
+		RepairHits      uint64 `json:"repairHits"`
+		RepairMisses    uint64 `json:"repairMisses"`
+		SyncIngested    uint64 `json:"syncIngested"`
+		ReplicationIn   uint64 `json:"replicationIn"`
+	} `json:"store"`
 }
 
 func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -522,6 +550,13 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		Labels, Flagged, Hits, Misses, Coalesced uint64
 		CacheSize                                int
 		Reporting                                int
+
+		DurableNodes    int
+		WarmBootEntries int
+		RepairHits      uint64
+		RepairMisses    uint64
+		SyncIngested    uint64
+		ReplicationIn   uint64
 	}
 	for id, rep := range replies {
 		if rep.Status != http.StatusOK || len(rep.Body) == 0 {
@@ -538,6 +573,14 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			agg.Coalesced += d.Cache.Coalesced
 			agg.CacheSize += d.Cache.Size
 			agg.Reporting++
+			if d.Store.Loaded {
+				agg.DurableNodes++
+				agg.WarmBootEntries += d.Store.WarmBootEntries
+				agg.RepairHits += d.Store.RepairHits
+				agg.RepairMisses += d.Store.RepairMisses
+				agg.SyncIngested += d.Store.SyncIngested
+				agg.ReplicationIn += d.Store.ReplicationIn
+			}
 		}
 	}
 	hitRate := 0.0
@@ -564,6 +607,10 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			"coalesce_windows":       m.coalWindows.Load(),
 			"coalesce_batched":       m.coalBatched.Load(),
 			"coalesce_flush_timeout": m.coalTimeouts.Load(),
+			"repair_forwards":        m.repairForwards.Load(),
+			"repair_dropped":         m.repairDropped.Load(),
+			"repair_errors":          m.repairErrors.Load(),
+			"rejoins":                m.rejoins.Load(),
 		},
 		"latency": m.latency.Stats(),
 		"scatter": g.scatter.Metrics().JSON(),
@@ -579,6 +626,17 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			"cacheSizeTotal":   agg.CacheSize,
 			"cacheHitRate":     hitRate,
 			"partitionedCache": true,
+			// Durable-tier aggregates: how much restart pain the store
+			// absorbed cluster-wide (warm boots, peer repairs, sync
+			// catch-up) — the restart smoke asserts against these.
+			"store": map[string]any{
+				"durableNodes":    agg.DurableNodes,
+				"warmBootEntries": agg.WarmBootEntries,
+				"repairHits":      agg.RepairHits,
+				"repairMisses":    agg.RepairMisses,
+				"syncIngested":    agg.SyncIngested,
+				"replicationIn":   agg.ReplicationIn,
+			},
 		},
 		"nodes": perNode,
 	})
@@ -599,6 +657,7 @@ func (g *Gateway) Run(ctx context.Context, addr string, ready chan<- net.Addr) e
 	sweepCtx, stopSweep := context.WithCancel(context.Background())
 	defer stopSweep()
 	go g.mem.Run(sweepCtx)
+	go g.drainRepairs(sweepCtx)
 	httpSrv := &http.Server{
 		Handler:           g.Handler(),
 		ReadTimeout:       5 * time.Second,

@@ -67,10 +67,18 @@ type member struct {
 type Membership struct {
 	cfg MembershipConfig
 
-	mu    sync.Mutex
-	nodes map[string]*member
-	epoch uint64
+	mu       sync.Mutex
+	nodes    map[string]*member
+	epoch    uint64
+	onRejoin func(id string)
 }
+
+// OnRejoin registers a hook invoked (outside the registry lock) each
+// time a previously dead node comes back — a heartbeat or request
+// success resurrecting it. The gateway uses it to count rejoins; the
+// returning worker's own anti-entropy loop does the actual catch-up.
+// Set before the registry sees traffic.
+func (m *Membership) OnRejoin(fn func(id string)) { m.onRejoin = fn }
 
 // NewMembership builds an empty registry.
 func NewMembership(cfg MembershipConfig) *Membership {
@@ -94,13 +102,15 @@ func (m *Membership) Epoch() uint64 {
 func (m *Membership) Join(id, addr string) uint64 {
 	now := m.cfg.Now()
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	n, ok := m.nodes[id]
 	if !ok {
 		m.nodes[id] = &member{id: id, addr: addr, state: StateAlive, lastBeat: now}
 		m.epoch++
-		return m.epoch
+		epoch := m.epoch
+		m.mu.Unlock()
+		return epoch
 	}
+	rejoined := n.state == StateDead
 	changed := n.addr != addr || n.state != StateAlive
 	n.addr = addr
 	n.state = StateAlive
@@ -109,7 +119,13 @@ func (m *Membership) Join(id, addr string) uint64 {
 	if changed {
 		m.epoch++
 	}
-	return m.epoch
+	epoch := m.epoch
+	hook := m.onRejoin
+	m.mu.Unlock()
+	if rejoined && hook != nil {
+		hook(id)
+	}
+	return epoch
 }
 
 // ObserveSuccess records a successful proxied request to id: evidence
@@ -119,16 +135,22 @@ func (m *Membership) Join(id, addr string) uint64 {
 func (m *Membership) ObserveSuccess(id string) {
 	now := m.cfg.Now()
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	n, ok := m.nodes[id]
 	if !ok {
+		m.mu.Unlock()
 		return
 	}
+	rejoined := n.state == StateDead
 	n.lastBeat = now
 	n.failStreak = 0
 	if n.state != StateAlive {
 		n.state = StateAlive
 		m.epoch++
+	}
+	hook := m.onRejoin
+	m.mu.Unlock()
+	if rejoined && hook != nil {
+		hook(id)
 	}
 }
 

@@ -1,0 +1,91 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"time"
+)
+
+// Gateway-side read-repair. When a single detect is answered by a node
+// other than the key's ring owner — the hedged router failed over, or
+// the owner just rebooted cold and the reply came from its replica —
+// the gateway already holds exactly the bytes the owner is missing. It
+// forwards them asynchronously to the owner's /v1/store/replicate, so
+// a promoted replica's answers warm the owner back up while it
+// recovers, instead of every repaired key costing the owner a detector
+// pass later.
+//
+// This is strictly best-effort: the queue is bounded, overflow drops
+// (and counts), and the workers' anti-entropy loop converges whatever
+// the gateway drops. It must never add latency to the serving path —
+// the enqueue is a non-blocking send of an already-copied body.
+
+// repairItem is one pending backfill: the owner's address and a
+// BatchResponse-shaped body wrapping the verdict it missed.
+type repairItem struct {
+	addr string
+	body []byte
+}
+
+const repairQueueSize = 1024
+
+// offerRepair wraps a successful DetectResponse body into the
+// replication frame shape and enqueues it for the owner. body is the
+// router reply's pooled buffer — copied here, before passthrough
+// releases it.
+func (g *Gateway) offerRepair(addr string, body []byte) {
+	if g.repairCh == nil || len(body) == 0 {
+		return
+	}
+	// Wrap without decoding: a BatchResponse with one result is
+	// {"count":1,"flagged":0,"results":[<body>]} and the receiver only
+	// reads Results (the wrapper's flagged count is not data).
+	buf := make([]byte, 0, len(body)+len(repairPrefix)+len(repairSuffix))
+	buf = append(buf, repairPrefix...)
+	buf = append(buf, body...)
+	buf = append(buf, repairSuffix...)
+	select {
+	case g.repairCh <- repairItem{addr: addr, body: buf}:
+		g.metrics.repairForwards.Add(1)
+	default:
+		g.metrics.repairDropped.Add(1)
+	}
+}
+
+const (
+	repairPrefix = `{"count":1,"flagged":0,"results":[`
+	repairSuffix = `]}`
+)
+
+// drainRepairs posts queued backfills until ctx is cancelled. One
+// drainer is plenty: repair volume is bounded by failover volume, which
+// is bounded by node-death frequency.
+func (g *Gateway) drainRepairs(ctx context.Context) {
+	client := &http.Client{Timeout: 2 * time.Second}
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case item := <-g.repairCh:
+			req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+				"http://"+item.addr+"/v1/store/replicate", bytes.NewReader(item.body))
+			if err != nil {
+				g.metrics.repairErrors.Add(1)
+				continue
+			}
+			req.Header.Set("Content-Type", "application/json")
+			resp, err := client.Do(req)
+			if err != nil {
+				g.metrics.repairErrors.Add(1)
+				continue
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				g.metrics.repairErrors.Add(1)
+			}
+		}
+	}
+}

@@ -61,6 +61,12 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /clusterz", s.handleClusterz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	// Store/cluster-internal endpoints (store.go), deliberately outside
+	// instrument(): peer probes and replication frames must not pollute
+	// the client-facing latency histogram, status counters or rate cap.
+	mux.HandleFunc("POST /v1/store/replicate", s.handleReplicate)
+	mux.HandleFunc("POST /v1/store/peek", s.handlePeek)
+	mux.HandleFunc("GET /v1/store/since", s.handleStoreSince)
 	return mux
 }
 

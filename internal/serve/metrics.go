@@ -99,4 +99,9 @@ type MetricsSnapshot struct {
 	// every clone: bounded-rescore early exits and — with a statistical
 	// model loaded — the learned prefilter's pass/shed split.
 	Detector core.DetectorStats `json:"detector"`
+	// Store is the durable-store block: warm-log/snapshot counters plus
+	// the replication, read-repair and anti-entropy counters the
+	// store-smoke cold-miss budget is asserted against. Loaded=false on
+	// memory-only nodes.
+	Store StoreStats `json:"store"`
 }

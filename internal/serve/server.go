@@ -31,14 +31,17 @@ import (
 	"net/http"
 	"os"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"idnlab/internal/candidx"
+	"idnlab/internal/cluster"
 	"idnlab/internal/core"
 	"idnlab/internal/feat"
 	"idnlab/internal/pipeline"
 	"idnlab/internal/version"
+	"idnlab/internal/vstore"
 )
 
 // Config parameterizes a Server. The zero value selects sane defaults
@@ -93,6 +96,23 @@ type Config struct {
 	// and the model gates the SSIM path as a learned prefilter.
 	// Prefilter pass/shed counters surface at /metrics.
 	Stat *feat.Model
+	// Store, when set, is the node's durable verdict store
+	// (vstore.Open): recovered records warm the cache before the
+	// listener opens, every fresh verdict is appended write-through, and
+	// the cluster paths (replication, read-repair, anti-entropy) turn on
+	// when a Peer is attached. Store stats surface at /metrics.
+	Store *vstore.Store
+	// ReplicateInterval is the async replicator's flush cadence (default
+	// 25ms); ReplicateQueue bounds verdicts queued between flushes
+	// (default 4096 — overflow drops, anti-entropy repairs the gap).
+	ReplicateInterval time.Duration
+	ReplicateQueue    int
+	// SyncInterval is the anti-entropy re-sync cadence after the initial
+	// rejoin round (default 15s).
+	SyncInterval time.Duration
+	// RepairTimeout bounds one read-repair peek at a peer (default 75ms
+	// — a probe must stay well under the detector pass it tries to save).
+	RepairTimeout time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -135,6 +155,18 @@ func (c Config) withDefaults() Config {
 	if c.DrainTimeout <= 0 {
 		c.DrainTimeout = 5 * time.Second
 	}
+	if c.ReplicateInterval <= 0 {
+		c.ReplicateInterval = 25 * time.Millisecond
+	}
+	if c.ReplicateQueue <= 0 {
+		c.ReplicateQueue = 4096
+	}
+	if c.SyncInterval <= 0 {
+		c.SyncInterval = 15 * time.Second
+	}
+	if c.RepairTimeout <= 0 {
+		c.RepairTimeout = 75 * time.Millisecond
+	}
 	return c
 }
 
@@ -165,6 +197,19 @@ type Server struct {
 	peer     atomic.Pointer[Peer]
 	warmed   chan struct{} // closed when detector warm-up completes
 	draining atomic.Bool
+
+	// Durable-store integration (store.go). store is nil on nodes
+	// running memory-only; everything below is inert then.
+	store        *vstore.Store
+	storeMx      storeMetrics
+	repl         *replicator
+	repairClient *http.Client
+	syncedOnce   atomic.Bool // first anti-entropy round completed
+	ringMu       sync.Mutex
+	ring         *cluster.Ring
+	ringEpoch    uint64
+	peekMu       sync.Mutex
+	peekState    map[string]peekBreaker
 }
 
 // batchEntry is one batch item's response, produced inside the engine.
@@ -192,7 +237,11 @@ func NewServer(cfg Config) *Server {
 		pool:    make(chan *core.Classifier, cfg.MaxInflight),
 		limiter: newRateLimiter(cfg.MaxRPS),
 		warmed:  make(chan struct{}),
+
+		repairClient: &http.Client{Timeout: 5 * time.Second},
+		peekState:    make(map[string]peekBreaker),
 	}
+	s.attachStore()
 	// Batch fan-out reuses the streaming engine: per-worker clones of
 	// the shared prototype, order-preserving fan-in so responses align
 	// with request order, per-stage metrics surfaced at /metrics.
@@ -276,6 +325,13 @@ func (s *Server) verdict(ctx context.Context, n core.NormalizedDomain) (core.Ver
 		return v, true, nil
 	}
 	return s.cache.Do(n.ACE, func() (core.Verdict, error) {
+		// Read-repair before recomputing: when this node is serving
+		// failover traffic or just rebooted, a peer likely holds the
+		// warm verdict and a bounded peek is far cheaper than a
+		// detector pass (store.go).
+		if v, ok := s.repairFetch(n.ACE); ok {
+			return v, nil
+		}
 		release, err := s.adm.Admit(ctx)
 		if err != nil {
 			return core.Verdict{}, err
@@ -297,6 +353,9 @@ func (s *Server) classifyRaw(c *core.Classifier, raw string) detectResponse {
 		return detectResponse{Input: raw, Error: err.Error()}
 	}
 	v, cached, err := s.cache.Do(n.ACE, func() (core.Verdict, error) {
+		if rv, ok := s.repairFetch(n.ACE); ok {
+			return rv, nil
+		}
 		return c.Verdict(n), nil
 	})
 	if err != nil { // unreachable: compute cannot fail
@@ -336,6 +395,7 @@ func (s *Server) Snapshot() MetricsSnapshot {
 		BatchEngine: s.batchEng.Metrics().JSON(),
 		Index:       indexStats(s.cfg.Index),
 		Detector:    s.proto.DetectorStats(),
+		Store:       s.storeStats(),
 	}
 }
 

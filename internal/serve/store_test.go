@@ -1,0 +1,358 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"idnlab/internal/api"
+	"idnlab/internal/core"
+	"idnlab/internal/vstore"
+)
+
+// --- VerdictCache store hooks ----------------------------------------
+
+func TestCachePutPeekWalk(t *testing.T) {
+	c := NewVerdictCache(64, 4)
+	for i := 0; i < 10; i++ {
+		k := fmt.Sprintf("warm-%d.com", i)
+		c.Put(k, vd(k), uint64(i+1))
+	}
+	if st := c.Stats(); st.Hits != 0 || st.Misses != 0 {
+		t.Fatalf("Put perturbed hit/miss counters: %+v", st)
+	}
+	if v, ok := c.Peek("warm-3.com"); !ok || v.Domain != "warm-3.com" {
+		t.Fatalf("Peek warm key: %v %v", v, ok)
+	}
+	if _, ok := c.Peek("cold.com"); ok {
+		t.Fatal("Peek hit a key that was never inserted")
+	}
+	if st := c.Stats(); st.Hits != 0 || st.Misses != 0 {
+		t.Fatalf("Peek perturbed hit/miss counters: %+v", st)
+	}
+
+	// Walk sees every entry with the sequence it was inserted under.
+	seqs := make(map[string]uint64)
+	c.Walk(func(key string, v core.Verdict, seq uint64) bool {
+		seqs[key] = seq
+		return true
+	})
+	if len(seqs) != 10 {
+		t.Fatalf("Walk visited %d entries, want 10", len(seqs))
+	}
+	if seqs["warm-3.com"] != 4 {
+		t.Fatalf("warm-3 walked with seq %d, want 4", seqs["warm-3.com"])
+	}
+
+	// fn returning false stops the walk.
+	n := 0
+	c.Walk(func(string, core.Verdict, uint64) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("walk after stop visited %d entries, want 1", n)
+	}
+}
+
+// TestCachePeekDoesNotPromote pins Peek's non-perturbing contract: a
+// peeked entry stays at its LRU position and is evicted as if the probe
+// never happened (Get, by contrast, promotes).
+func TestCachePeekDoesNotPromote(t *testing.T) {
+	c := NewVerdictCache(2, 1)
+	c.Put("a.com", vd("a.com"), 1)
+	c.Put("b.com", vd("b.com"), 2)
+	c.Peek("a.com") // must NOT promote a past b
+	c.Put("c.com", vd("c.com"), 3)
+	if _, ok := c.Peek("a.com"); ok {
+		t.Fatal("a.com survived eviction — Peek promoted it")
+	}
+	if _, ok := c.Peek("b.com"); !ok {
+		t.Fatal("b.com evicted — wrong LRU victim")
+	}
+}
+
+// TestCacheWriteThroughLeaderOnly: the durable write-through hook fires
+// exactly once per fresh computation — not on hits, not on coalesced
+// followers, not on warm Puts, not on compute errors — and the returned
+// sequence is stamped on the entry.
+func TestCacheWriteThroughLeaderOnly(t *testing.T) {
+	c := NewVerdictCache(64, 4)
+	var calls atomic.Uint64
+	c.SetWriteThrough(func(key string, v core.Verdict) uint64 {
+		calls.Add(1)
+		return 42
+	})
+
+	c.Do("a.com", func() (core.Verdict, error) { return vd("a.com"), nil })
+	if calls.Load() != 1 {
+		t.Fatalf("write-through after first Do: %d calls, want 1", calls.Load())
+	}
+	c.Do("a.com", func() (core.Verdict, error) {
+		t.Fatal("compute ran on warm key")
+		return core.Verdict{}, nil
+	})
+	if calls.Load() != 1 {
+		t.Fatalf("write-through fired on a cache hit: %d calls", calls.Load())
+	}
+	c.Put("b.com", vd("b.com"), 7)
+	if calls.Load() != 1 {
+		t.Fatalf("write-through fired on a warm Put: %d calls", calls.Load())
+	}
+	c.Do("err.com", func() (core.Verdict, error) { return core.Verdict{}, fmt.Errorf("boom") })
+	if calls.Load() != 1 {
+		t.Fatalf("write-through fired on a compute error: %d calls", calls.Load())
+	}
+
+	// Coalesced followers share the leader's single write-through.
+	gate := make(chan struct{})
+	var started sync.WaitGroup
+	var wg sync.WaitGroup
+	started.Add(1)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c.Do("cold.com", func() (core.Verdict, error) {
+				started.Done() // only the leader gets here
+				<-gate
+				return vd("cold.com"), nil
+			})
+		}(i)
+	}
+	started.Wait()
+	time.Sleep(20 * time.Millisecond) // let followers queue behind the leader
+	close(gate)
+	wg.Wait()
+	if calls.Load() != 2 {
+		t.Fatalf("write-through after coalesced burst: %d calls, want 2", calls.Load())
+	}
+
+	// The hook's sequence number is what the entry carries into Walk
+	// (and therefore into snapshot compaction).
+	var got uint64
+	c.Walk(func(key string, _ core.Verdict, seq uint64) bool {
+		if key == "a.com" {
+			got = seq
+		}
+		return true
+	})
+	if got != 42 {
+		t.Fatalf("entry stamped with seq %d, want the hook's 42", got)
+	}
+}
+
+// TestCacheWalkHoldsNoLocksDuringEmit parks the walk callback mid-dump
+// and verifies the cache stays fully usable — the snapshot writer must
+// never hold a shard lock across its emit.
+func TestCacheWalkHoldsNoLocksDuringEmit(t *testing.T) {
+	c := NewVerdictCache(64, 1) // single shard: the worst case
+	for i := 0; i < 8; i++ {
+		k := fmt.Sprintf("warm-%d.com", i)
+		c.Put(k, vd(k), uint64(i+1))
+	}
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	walked := make(chan struct{})
+	go func() {
+		defer close(walked)
+		first := true
+		c.Walk(func(string, core.Verdict, uint64) bool {
+			if first {
+				first = false
+				close(entered)
+				<-release
+			}
+			return true
+		})
+	}()
+	<-entered
+	ok := make(chan struct{})
+	go func() {
+		c.Put("during.com", vd("during.com"), 99)
+		c.Get("warm-0.com")
+		c.Do("also-during.com", func() (core.Verdict, error) { return vd("also-during.com"), nil })
+		close(ok)
+	}()
+	select {
+	case <-ok:
+	case <-time.After(2 * time.Second):
+		t.Fatal("cache operations blocked behind a paused Walk — shard lock held across emit")
+	}
+	close(release)
+	<-walked
+}
+
+// --- Server integration: warm boot, write-through, store endpoints ----
+
+func TestServerStoreWarmBootAndHandlers(t *testing.T) {
+	dir := t.TempDir()
+
+	// A previous incarnation committed one verdict and stopped cleanly.
+	prev, err := vstore.Open(vstore.Config{Dir: dir, NoFsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq := prev.Append(vd("warm.example")); seq == 0 {
+		t.Fatal("seed append failed")
+	}
+	if err := prev.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := prev.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := vstore.Open(vstore.Config{Dir: dir, NoFsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, ts := testServer(t, Config{NodeID: "n1", TopK: 100, Workers: 2, Store: st})
+	t.Cleanup(func() { srv.CloseStore() })
+
+	// Warm boot: the recovered key answers from cache on the very first
+	// request — no detector pass, no new log append.
+	resp, body := postJSON(t, ts.URL+"/v1/detect", `{"domain":"warm.example"}`)
+	if resp.StatusCode != 200 || !strings.Contains(body, `"cached":true`) {
+		t.Fatalf("warm-boot detect not cached: %d %q", resp.StatusCode, body)
+	}
+
+	// Write-through: fresh keys append to the warm log.
+	before := st.Seq()
+	for i := 0; i < 3; i++ {
+		resp, body := postJSON(t, ts.URL+"/v1/detect", fmt.Sprintf(`{"domain":"fresh-%d.example"}`, i))
+		if resp.StatusCode != 200 {
+			t.Fatalf("detect fresh-%d: %d %q", i, resp.StatusCode, body)
+		}
+	}
+	if got := st.Seq(); got != before+3 {
+		t.Fatalf("store seq %d after 3 fresh verdicts, want %d", got, before+3)
+	}
+
+	// Peek: warm 200 + cached flag, cold 404 — without touching counters
+	// the budget is asserted against.
+	resp, body = postJSON(t, ts.URL+"/v1/store/peek", `{"domain":"warm.example"}`)
+	if resp.StatusCode != 200 || !strings.Contains(body, `"cached":true`) {
+		t.Fatalf("peek warm: %d %q", resp.StatusCode, body)
+	}
+	if resp, _ := postJSON(t, ts.URL+"/v1/store/peek", `{"domain":"never.example"}`); resp.StatusCode != 404 {
+		t.Fatalf("peek cold: %d, want 404", resp.StatusCode)
+	}
+
+	// Replication ingest: one new verdict accepted, the duplicate of an
+	// already-warm key deduplicated (that dedup is what stops replication
+	// loops from growing the log without bound).
+	br := api.BatchResponse{Count: 2, Results: []api.DetectResponse{
+		{Verdict: vd("warm.example")},
+		{Verdict: vd("repl-1.example")},
+	}}
+	frame, err := api.AppendBatchResponse(nil, &br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, body = postJSON(t, ts.URL+"/v1/store/replicate", string(frame))
+	if resp.StatusCode != 200 || !strings.Contains(body, `"accepted":1`) {
+		t.Fatalf("replicate: %d %q", resp.StatusCode, body)
+	}
+	if resp, body := postJSON(t, ts.URL+"/v1/store/peek", `{"domain":"repl-1.example"}`); resp.StatusCode != 200 || !strings.Contains(body, `"cached":true`) {
+		t.Fatalf("replicated key not warm: %d %q", resp.StatusCode, body)
+	}
+
+	// Anti-entropy feed: page the whole committed stream through the
+	// cursor protocol and check it is ascending and complete.
+	if err := st.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	want := st.DurableSeq()
+	var after uint64
+	var streamed int
+	for {
+		resp, err := http.Get(fmt.Sprintf("%s/v1/store/since?seq=%d&max=2", ts.URL, after))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sr struct {
+			Durable uint64 `json:"durable"`
+			More    bool   `json:"more"`
+			Records []struct {
+				Seq     uint64       `json:"seq"`
+				Verdict core.Verdict `json:"verdict"`
+			} `json:"records"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&sr)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range sr.Records {
+			if r.Seq <= after {
+				t.Fatalf("since stream not ascending: seq %d after cursor %d", r.Seq, after)
+			}
+			after = r.Seq
+			streamed++
+		}
+		if !sr.More {
+			if sr.Durable != want {
+				t.Fatalf("final page durable %d, want %d", sr.Durable, want)
+			}
+			break
+		}
+	}
+	if uint64(streamed) != want {
+		t.Fatalf("streamed %d records, want %d", streamed, want)
+	}
+
+	// The /metrics store block carries both the vstore counters and the
+	// cluster-facing ones — the smoke budgets scrape exactly this shape.
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m struct {
+		Store StoreStats `json:"store"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&m)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Store.Loaded || m.Store.WarmBootEntries != 1 {
+		t.Fatalf("metrics store block: loaded=%v warmBoot=%d", m.Store.Loaded, m.Store.WarmBootEntries)
+	}
+	if m.Store.ReplicationIn != 1 {
+		t.Fatalf("metrics replicationIn %d, want 1", m.Store.ReplicationIn)
+	}
+	if m.Store.Appends == 0 {
+		t.Fatal("metrics store block missing vstore counters")
+	}
+}
+
+// TestStoreHandlersWithoutStore: a memory-only node refuses the
+// anti-entropy feed (404, so peers treat it as storeless) but still
+// accepts replication frames into its cache — a cache-only replica.
+func TestStoreHandlersWithoutStore(t *testing.T) {
+	_, ts := testServer(t, Config{NodeID: "n0", TopK: 50, Workers: 1})
+
+	resp, err := http.Get(ts.URL + "/v1/store/since?seq=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Fatalf("since without store: %d, want 404", resp.StatusCode)
+	}
+
+	br := api.BatchResponse{Count: 1, Results: []api.DetectResponse{{Verdict: vd("mem-only.example")}}}
+	frame, err := api.AppendBatchResponse(nil, &br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp, body := postJSON(t, ts.URL+"/v1/store/replicate", string(frame)); resp.StatusCode != 200 || !strings.Contains(body, `"accepted":1`) {
+		t.Fatalf("replicate without store: %d %q", resp.StatusCode, body)
+	}
+	if resp, body := postJSON(t, ts.URL+"/v1/store/peek", `{"domain":"mem-only.example"}`); resp.StatusCode != 200 || !strings.Contains(body, `"cached":true`) {
+		t.Fatalf("cache-only replica not warm: %d %q", resp.StatusCode, body)
+	}
+}

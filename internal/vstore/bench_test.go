@@ -1,0 +1,140 @@
+package vstore
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"idnlab/internal/core"
+)
+
+// Benchmarks feed scripts/store_bench.sh (via cmd/benchjson):
+//
+//	BenchmarkVstoreAppend    append+group-commit throughput (MB/s)
+//	BenchmarkVstoreRecovery  reopen/replay throughput (MB/s) and
+//	                         warm-boot entries/s at VSTORE_BENCH_RECORDS
+//	BenchmarkVstoreSince     anti-entropy suffix streaming (records/s)
+//
+// NoFsync is set: these measure the encode/frame/replay paths, not the
+// disk. VSTORE_BENCH_RECORDS scales the recovery corpus (default 50k;
+// the bench script drives it to 1M for the warm-boot budget).
+
+func benchRecords() int {
+	if v := os.Getenv("VSTORE_BENCH_RECORDS"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			return n
+		}
+	}
+	return 50_000
+}
+
+func benchVerdict(i int) core.Verdict {
+	return core.Verdict{
+		Domain:  fmt.Sprintf("xn--bench%07d.example", i),
+		Unicode: fmt.Sprintf("bénch%07d.example", i),
+		IDN:     true,
+	}
+}
+
+// recordBytes measures the framed size of one benchmark record.
+func recordBytes(b *testing.B) int64 {
+	b.Helper()
+	payload, err := appendRecord(nil, 1, benchVerdict(0))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return int64(len(appendFrame(nil, payload)))
+}
+
+func BenchmarkVstoreAppend(b *testing.B) {
+	s, err := Open(Config{Dir: b.TempDir(), CompactBytes: -1, NoFsync: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	b.SetBytes(recordBytes(b))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if seq := s.Append(benchVerdict(i)); seq == 0 {
+			b.Fatal("Append returned 0")
+		}
+	}
+	if err := s.Sync(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkVstoreRecovery(b *testing.B) {
+	n := benchRecords()
+	dir := b.TempDir()
+	s, err := Open(Config{Dir: dir, CompactBytes: -1, NoFsync: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		s.Append(benchVerdict(i))
+	}
+	if err := s.Sync(); err != nil {
+		b.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		b.Fatal(err)
+	}
+	var dirBytes int64
+	entries, _ := os.ReadDir(dir)
+	for _, e := range entries {
+		if st, err := os.Stat(filepath.Join(dir, e.Name())); err == nil {
+			dirBytes += st.Size()
+		}
+	}
+	b.SetBytes(dirBytes)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := Open(Config{Dir: dir, CompactBytes: -1, NoFsync: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if got := len(r.TakeRecovered()); got != n {
+			b.Fatalf("recovered %d records, want %d", got, n)
+		}
+		r.Close()
+	}
+	b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "entries/s")
+}
+
+func BenchmarkVstoreSince(b *testing.B) {
+	const n = 10_000
+	s, err := Open(Config{Dir: b.TempDir(), CompactBytes: -1, NoFsync: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < n; i++ {
+		s.Append(benchVerdict(i))
+	}
+	if err := s.Sync(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var after uint64
+		total := 0
+		for {
+			recs, _, more, err := s.Since(after, 2048)
+			if err != nil {
+				b.Fatal(err)
+			}
+			total += len(recs)
+			if !more {
+				break
+			}
+			after = recs[len(recs)-1].Seq
+		}
+		if total != n {
+			b.Fatalf("streamed %d records, want %d", total, n)
+		}
+	}
+	b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "records/s")
+}

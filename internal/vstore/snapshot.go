@@ -1,0 +1,302 @@
+package vstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"idnlab/internal/core"
+)
+
+// Snapshot compaction. When the active log outgrows CompactBytes the
+// committer kicks compact(), which:
+//
+//  1. rotates the active log (new file, baseSeq = current seq) so the
+//     append path never stalls behind the dump;
+//  2. walks the live cache through the attached Walker — one shard
+//     locked at a time, never the whole cache — keeping records at or
+//     below the rotation watermark;
+//  3. writes snapshot.vsnap.tmp, fsyncs, and renames it over the old
+//     snapshot (atomic cutover: a crash at any byte leaves either the
+//     old complete snapshot or the new complete one);
+//  4. deletes the log files the snapshot now covers.
+//
+// Evicted keys fall out at compaction — the store is a warm-boot image
+// of the cache, not an unbounded history — which is what bounds disk to
+// O(cache capacity + CompactBytes).
+
+// compact runs one compaction cycle on its own goroutine.
+func (s *Store) compact() {
+	defer s.compactorDone.Done()
+	if err := s.compactOnce(); err != nil {
+		s.mu.Lock()
+		s.compactErrors++
+		s.mu.Unlock()
+	}
+	s.mu.Lock()
+	s.compacting = false
+	s.mu.Unlock()
+}
+
+// Compact forces a compaction cycle synchronously (tests and benches;
+// production relies on the size trigger). It is a no-op without a
+// walker.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	if s.walker == nil || s.compacting || s.closing || s.err != nil {
+		s.mu.Unlock()
+		return nil
+	}
+	s.compacting = true
+	s.mu.Unlock()
+	err := s.compactOnce()
+	s.mu.Lock()
+	if err != nil {
+		s.compactErrors++
+	}
+	s.compacting = false
+	s.mu.Unlock()
+	return err
+}
+
+func (s *Store) compactOnce() error {
+	// Rotate: swap in a fresh log so appends continue while we dump.
+	// One commit write may be in flight; wait it out (never long — one
+	// batch) so the old file is complete when we close it.
+	s.mu.Lock()
+	for s.writing && s.err == nil && !s.closing {
+		s.cond.Wait()
+	}
+	if s.closing || s.err != nil {
+		s.mu.Unlock()
+		return nil
+	}
+	watermark := s.seq
+	walker := s.walker
+	oldFile, oldPath := s.f, s.logPath
+	path, f, err := s.newLogFile(watermark)
+	if err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	s.f, s.logPath, s.logSize = f, path, logHeaderSize
+	s.oldLogs = append(s.oldLogs, oldPath)
+	covered := append([]string(nil), s.oldLogs...)
+	s.mu.Unlock()
+	oldFile.Close()
+
+	// Dump the live cache. Records above the watermark belong to the new
+	// log; records with seq 0 never hit this store (ingested while the
+	// log was dead) and cannot be ordered, so they stay log-only.
+	var recs []Record
+	walker(func(key string, v core.Verdict, seq uint64) {
+		if seq == 0 || seq > watermark {
+			return
+		}
+		recs = append(recs, Record{Seq: seq, Verdict: v})
+	})
+	sort.Slice(recs, func(i, j int) bool { return recs[i].Seq < recs[j].Seq })
+
+	if err := s.writeSnapshot(recs, watermark); err != nil {
+		return err
+	}
+
+	s.mu.Lock()
+	s.snapshots++
+	s.snapSeq, s.snapCount = watermark, len(recs)
+	// Drop exactly the files the snapshot covers; a concurrent rotation
+	// cannot have added to oldLogs (compactions are serialized).
+	s.oldLogs = s.oldLogs[len(covered):]
+	s.mu.Unlock()
+	for _, p := range covered {
+		os.Remove(p)
+	}
+	return nil
+}
+
+// writeSnapshot writes records to snapshot.vsnap.tmp and atomically
+// renames it into place: temp write + fsync + rename is the same
+// cutover discipline as the watch daemon's cursor file.
+func (s *Store) writeSnapshot(recs []Record, watermark uint64) error {
+	tmp := filepath.Join(s.cfg.Dir, snapName+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	hdr := make([]byte, snapHeaderSize)
+	copy(hdr, snapMagic)
+	binary.LittleEndian.PutUint64(hdr[8:], watermark)
+	binary.LittleEndian.PutUint32(hdr[16:], uint32(len(recs)))
+	buf := hdr
+	var scratch []byte
+	for i := range recs {
+		payload, err := appendRecord(scratch[:0], recs[i].Seq, recs[i].Verdict)
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return err
+		}
+		scratch = payload
+		buf = appendFrame(buf, payload)
+		if len(buf) >= 1<<20 {
+			if _, err := f.Write(buf); err != nil {
+				f.Close()
+				os.Remove(tmp)
+				return err
+			}
+			buf = buf[:0]
+		}
+	}
+	if len(buf) > 0 {
+		if _, err := f.Write(buf); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return err
+		}
+	}
+	if err := s.syncFile(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(s.cfg.Dir, snapName)); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return s.syncDir()
+}
+
+// syncDir makes the snapshot rename itself durable.
+func (s *Store) syncDir() error {
+	if s.cfg.NoFsync {
+		return nil
+	}
+	d, err := os.Open(s.cfg.Dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	d.Close()
+	return err
+}
+
+// loadSnapshot reads a snapshot file. A missing file is an empty store;
+// anything structurally wrong is an error — the atomic cutover means a
+// torn snapshot cannot be left by a crash, only by real corruption,
+// and serving silently from half a snapshot would be data loss.
+func loadSnapshot(path string) ([]Record, uint64, error) {
+	buf, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, 0, nil
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(buf) < snapHeaderSize || string(buf[:8]) != snapMagic {
+		return nil, 0, fmt.Errorf("vstore: %s is not a verdict snapshot (bad magic)", path)
+	}
+	watermark := binary.LittleEndian.Uint64(buf[8:])
+	count := binary.LittleEndian.Uint32(buf[16:])
+	recs := make([]Record, 0, count)
+	if _, err := scanFrames(buf[snapHeaderSize:], func(payload []byte) error {
+		r, err := decodeRecord(payload)
+		if err != nil {
+			return err
+		}
+		recs = append(recs, r)
+		return nil
+	}); err != nil {
+		return nil, 0, fmt.Errorf("vstore: %s: %w", path, err)
+	}
+	if len(recs) != int(count) {
+		return nil, 0, fmt.Errorf("vstore: %s: %d records, header says %d (truncated snapshot)", path, len(recs), count)
+	}
+	return recs, watermark, nil
+}
+
+// Since returns up to max records with sequence numbers in
+// (after, durable], ascending — the anti-entropy suffix a rejoining
+// peer streams to converge. durable is the store's current durable
+// watermark: when more is false the caller may advance its cursor to it
+// directly. Only durable bytes of the active log are scanned, so a
+// record is never handed out before it would survive a crash.
+func (s *Store) Since(after uint64, max int) (recs []Record, durable uint64, more bool, err error) {
+	if max <= 0 {
+		max = 1024
+	}
+	s.mu.Lock()
+	durable = s.durable
+	snapSeq := s.snapSeq
+	activePath, activeSize := s.logPath, s.logSize
+	old := append([]string(nil), s.oldLogs...)
+	s.mu.Unlock()
+	if after >= durable {
+		return nil, durable, false, nil
+	}
+
+	collect := func(r Record) {
+		if r.Seq > after && r.Seq <= durable {
+			recs = append(recs, r)
+		}
+	}
+	if snapSeq > after {
+		snapRecs, _, err := loadSnapshot(filepath.Join(s.cfg.Dir, snapName))
+		if err != nil {
+			return nil, durable, false, err
+		}
+		for _, r := range snapRecs {
+			collect(r)
+		}
+	}
+	for _, p := range old {
+		if err := scanLogRecords(p, -1, collect); err != nil {
+			return nil, durable, false, err
+		}
+	}
+	if err := scanLogRecords(activePath, activeSize, collect); err != nil {
+		return nil, durable, false, err
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].Seq < recs[j].Seq })
+	if len(recs) > max {
+		recs, more = recs[:max], true
+	}
+	return recs, durable, more, nil
+}
+
+// scanLogRecords reads a log file's records, bounded to limit bytes
+// when limit >= 0 (the active log's durable size — bytes past it may be
+// a commit in flight). Torn tails stop the scan cleanly.
+func scanLogRecords(path string, limit int64, fn func(Record)) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var rd io.Reader = f
+	if limit >= 0 {
+		rd = io.LimitReader(f, limit)
+	}
+	buf, err := io.ReadAll(rd)
+	if err != nil {
+		return err
+	}
+	if len(buf) < logHeaderSize || string(buf[:8]) != logMagic {
+		return fmt.Errorf("vstore: %s is not a verdict log (bad magic)", path)
+	}
+	_, err = scanFrames(buf[logHeaderSize:], func(payload []byte) error {
+		r, err := decodeRecord(payload)
+		if err != nil {
+			return err
+		}
+		fn(r)
+		return nil
+	})
+	return err
+}

@@ -1,0 +1,421 @@
+package vstore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"idnlab/internal/core"
+)
+
+// Store is a durable, replication-ready warm store for one cache
+// partition: a group-committed append log plus a compacted snapshot.
+// Build with Open; Append/Sync/Since/Stats are safe for concurrent use.
+type Store struct {
+	cfg Config
+
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	f       *os.File // active log
+	logPath string
+	logSize int64 // durable byte size of the active log
+	oldLogs []string
+
+	seq         uint64 // last assigned sequence number
+	durable     uint64 // last sequence number on stable storage
+	pending     []byte // encoded frames awaiting commit
+	pendingN    int
+	pendingLast uint64 // seq of the newest pending frame
+	spare       []byte
+	writing     bool // a commit write is in flight (file must not rotate)
+
+	appends   uint64
+	commits   uint64
+	maxBatch  int
+	snapshots uint64
+	snapSeq   uint64 // watermark of the current snapshot
+	snapCount int
+
+	compacting    bool
+	compactErrors uint64
+	encodeErrors  uint64
+	walker        Walker
+
+	recovered     []Record // warm-boot records, handed out once
+	warmBoot      int
+	err           error // sticky I/O error; the store is dead once set
+	closing       bool
+	done          chan struct{}
+	compactorDone sync.WaitGroup
+}
+
+// Walker supplies the compactor with the live cache contents: it calls
+// emit once per entry without holding any lock across the full dump
+// (serve.VerdictCache.Walk is the canonical implementation).
+type Walker func(emit func(key string, v core.Verdict, seq uint64))
+
+// Open opens (or creates) the store at cfg.Dir, recovers the snapshot
+// and every log file (truncating torn tails), and starts the committer.
+// TakeRecovered returns the warm-boot records exactly once.
+func Open(cfg Config) (*Store, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Dir == "" {
+		return nil, errors.New("vstore: Config.Dir is required")
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	s := &Store{cfg: cfg, done: make(chan struct{})}
+	s.cond = sync.NewCond(&s.mu)
+
+	// A crash mid-snapshot leaves only a temp file; the rename never
+	// happened, so the old snapshot (if any) is still the truth.
+	tmps, _ := filepath.Glob(filepath.Join(cfg.Dir, "*.tmp"))
+	for _, t := range tmps {
+		os.Remove(t)
+	}
+
+	byKey := make(map[string]Record)
+	snapRecs, snapSeq, err := loadSnapshot(filepath.Join(cfg.Dir, snapName))
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range snapRecs {
+		byKey[r.Verdict.Domain] = r
+	}
+	s.snapSeq, s.snapCount = snapSeq, len(snapRecs)
+	maxSeq := snapSeq
+
+	logs, err := listLogs(cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	for i, path := range logs {
+		base, recs, size, err := s.recoverLogFile(path)
+		if err != nil {
+			return nil, err
+		}
+		if base > maxSeq {
+			maxSeq = base
+		}
+		for _, r := range recs {
+			if prev, ok := byKey[r.Verdict.Domain]; !ok || r.Seq > prev.Seq {
+				byKey[r.Verdict.Domain] = r
+			}
+			if r.Seq > maxSeq {
+				maxSeq = r.Seq
+			}
+		}
+		if i < len(logs)-1 {
+			s.oldLogs = append(s.oldLogs, path)
+		} else {
+			s.logPath, s.logSize = path, size
+		}
+	}
+	s.seq, s.durable = maxSeq, maxSeq
+
+	if s.logPath == "" {
+		path, f, err := s.newLogFile(maxSeq)
+		if err != nil {
+			return nil, err
+		}
+		s.logPath, s.f, s.logSize = path, f, logHeaderSize
+	} else {
+		f, err := os.OpenFile(s.logPath, os.O_RDWR, 0o644)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := f.Seek(s.logSize, 0); err != nil {
+			f.Close()
+			return nil, err
+		}
+		s.f = f
+	}
+
+	s.recovered = make([]Record, 0, len(byKey))
+	for _, r := range byKey {
+		s.recovered = append(s.recovered, r)
+	}
+	sort.Slice(s.recovered, func(i, j int) bool { return s.recovered[i].Seq < s.recovered[j].Seq })
+	s.warmBoot = len(s.recovered)
+
+	go s.commitLoop()
+	return s, nil
+}
+
+const snapName = "snapshot.vsnap"
+
+// logName formats an active-log filename; the hex baseSeq keeps
+// lexicographic order equal to sequence order.
+func logName(baseSeq uint64) string { return fmt.Sprintf("wlog-%016x.vlog", baseSeq) }
+
+// listLogs returns the store's log files sorted by base sequence.
+func listLogs(dir string) ([]string, error) {
+	all, err := filepath.Glob(filepath.Join(dir, "wlog-*.vlog"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(all)
+	return all, nil
+}
+
+// newLogFile creates an empty log whose header records baseSeq (the
+// last sequence number preceding this file).
+func (s *Store) newLogFile(baseSeq uint64) (string, *os.File, error) {
+	path := filepath.Join(s.cfg.Dir, logName(baseSeq))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_TRUNC, 0o644)
+	if err != nil {
+		return "", nil, err
+	}
+	hdr := make([]byte, logHeaderSize)
+	copy(hdr, logMagic)
+	binary.LittleEndian.PutUint64(hdr[8:], baseSeq)
+	if _, err := f.Write(hdr); err != nil {
+		f.Close()
+		return "", nil, err
+	}
+	if err := s.syncFile(f); err != nil {
+		f.Close()
+		return "", nil, err
+	}
+	return path, f, nil
+}
+
+// recoverLogFile validates the header, scans frames, and truncates the
+// file at the first incomplete or corrupt one — a crash between write
+// and fsync leaves a torn tail, and a torn frame was by definition
+// never acknowledged durable.
+func (s *Store) recoverLogFile(path string) (baseSeq uint64, recs []Record, size int64, err error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return 0, nil, 0, err
+	}
+	if len(buf) < logHeaderSize || string(buf[:8]) != logMagic {
+		return 0, nil, 0, fmt.Errorf("vstore: %s is not a verdict log (bad magic)", path)
+	}
+	baseSeq = binary.LittleEndian.Uint64(buf[8:])
+	off, err := scanFrames(buf[logHeaderSize:], func(payload []byte) error {
+		r, err := decodeRecord(payload)
+		if err != nil {
+			return err
+		}
+		recs = append(recs, r)
+		return nil
+	})
+	if err != nil {
+		// CRC passed but the payload is not a record: corruption beyond a
+		// torn tail. Refuse to serve from it rather than guess.
+		return 0, nil, 0, fmt.Errorf("vstore: %s: %w", path, err)
+	}
+	size = logHeaderSize + off
+	if size < int64(len(buf)) {
+		f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+		if err != nil {
+			return 0, nil, 0, err
+		}
+		if err := f.Truncate(size); err != nil {
+			f.Close()
+			return 0, nil, 0, err
+		}
+		err = s.syncFile(f)
+		f.Close()
+		if err != nil {
+			return 0, nil, 0, err
+		}
+	}
+	return baseSeq, recs, size, nil
+}
+
+// TakeRecovered returns the warm-boot records (latest verdict per key,
+// ascending sequence order) and releases the memory. Second call
+// returns nil.
+func (s *Store) TakeRecovered() []Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r := s.recovered
+	s.recovered = nil
+	return r
+}
+
+// SetWalker wires the compactor's source of truth — the live cache.
+// Compaction stays disabled until a walker is attached.
+func (s *Store) SetWalker(w Walker) {
+	s.mu.Lock()
+	s.walker = w
+	s.mu.Unlock()
+}
+
+// Append assigns the next sequence number to v and enqueues the frame
+// for the next group commit. It returns the assigned sequence (0 if the
+// store is dead or closing) without waiting for durability — Sync() is
+// the barrier. Encoding failures (non-finite floats cannot occur in
+// real verdicts) are counted, not fatal.
+func (s *Store) Append(v core.Verdict) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil || s.closing {
+		return 0
+	}
+	if s.pending == nil && s.spare != nil {
+		s.pending, s.spare = s.spare[:0], nil
+	}
+	seq := s.seq + 1
+	mark := len(s.pending)
+	payload, err := appendRecord(nil, seq, v)
+	if err != nil {
+		s.encodeErrors++
+		return 0
+	}
+	if len(payload) > maxFrame {
+		s.encodeErrors++
+		return 0
+	}
+	s.pending = appendFrame(s.pending[:mark], payload)
+	s.seq = seq
+	s.pendingN++
+	s.pendingLast = seq
+	s.appends++
+	s.cond.Broadcast() // wake the committer
+	return seq
+}
+
+// Sync blocks until every record appended before the call is on stable
+// storage (or the store has failed).
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	target := s.seq
+	for s.durable < target && s.err == nil {
+		s.cond.Wait()
+	}
+	return s.err
+}
+
+// Seq reports the last assigned sequence number.
+func (s *Store) Seq() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.seq
+}
+
+// DurableSeq reports the last sequence number on stable storage.
+func (s *Store) DurableSeq() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.durable
+}
+
+// Stats snapshots the store's counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{
+		Loaded:          true,
+		Dir:             s.cfg.Dir,
+		Seq:             s.seq,
+		DurableSeq:      s.durable,
+		Appends:         s.appends,
+		Commits:         s.commits,
+		MaxBatch:        s.maxBatch,
+		LogBytes:        s.logSize,
+		WarmBootEntries: s.warmBoot,
+		Snapshots:       s.snapshots,
+		SnapshotSeq:     s.snapSeq,
+		SnapshotEntries: s.snapCount,
+		CompactErrors:   s.compactErrors,
+		EncodeErrors:    s.encodeErrors,
+	}
+	if s.err != nil {
+		st.LastError = s.err.Error()
+	}
+	return st
+}
+
+// Close drains pending frames, stops the committer, waits out any
+// in-flight compaction and closes the active log.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	if s.closing {
+		s.mu.Unlock()
+		<-s.done
+		s.compactorDone.Wait()
+		return s.closeErr()
+	}
+	s.closing = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	<-s.done
+	s.compactorDone.Wait()
+	s.mu.Lock()
+	err := s.err
+	f := s.f
+	s.f = nil
+	s.mu.Unlock()
+	if f != nil {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+func (s *Store) closeErr() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// commitLoop is the single committer: it swaps out whatever frames have
+// accumulated, writes them in one syscall, fsyncs, and publishes the
+// new durable watermark — one fsync per batch, which is the entire
+// point of group commit. After each commit it checks whether the active
+// log has outgrown CompactBytes and kicks the compactor.
+func (s *Store) commitLoop() {
+	defer close(s.done)
+	s.mu.Lock()
+	for {
+		for s.pendingN == 0 && !s.closing && s.err == nil {
+			s.cond.Wait()
+		}
+		if s.err != nil || (s.closing && s.pendingN == 0) {
+			s.mu.Unlock()
+			return
+		}
+		buf, n, last := s.pending, s.pendingN, s.pendingLast
+		s.pending, s.pendingN = nil, 0
+		s.writing = true
+		f := s.f
+		s.mu.Unlock()
+
+		_, werr := f.Write(buf)
+		if werr == nil {
+			werr = s.syncFile(f)
+		}
+
+		s.mu.Lock()
+		s.writing = false
+		if werr != nil {
+			s.err = werr
+		} else {
+			s.logSize += int64(len(buf))
+			s.durable = last
+			s.commits++
+			if n > s.maxBatch {
+				s.maxBatch = n
+			}
+			s.spare = buf[:0]
+			if s.cfg.CompactBytes > 0 && s.logSize > s.cfg.CompactBytes &&
+				s.walker != nil && !s.compacting && !s.closing {
+				s.compacting = true
+				s.compactorDone.Add(1)
+				go s.compact()
+			}
+		}
+		s.cond.Broadcast()
+	}
+}

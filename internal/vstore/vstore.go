@@ -1,0 +1,171 @@
+// Package vstore gives each worker's verdict-cache partition a durable
+// life: an append-only warm log of committed verdicts plus periodic
+// compacted snapshots, so a SIGKILLed worker reboots with its partition
+// warm instead of stampeding the SSIM path cold.
+//
+// On-disk layout (one directory per node):
+//
+//	snapshot.vsnap    magic "IDNVSNP1" | u64le watermark | u32le count | frame*
+//	wlog-<hex>.vlog   magic "IDNVLOG1" | u64le baseSeq | frame*
+//	*.tmp             in-flight snapshot writes, deleted on open
+//
+// Every frame is the alert log's proven discipline (watch.AlertLog):
+//
+//	u32le payloadLen | u32le crc32c(payload) | payload
+//
+// with the payload being a u64le sequence number followed by the
+// verdict encoded as an api.DetectResponse via the zero-alloc append
+// codec — byte-identical to the wire form the worker serves, so one
+// codec covers serving, replication and durability.
+//
+// Sequence numbers are per-store, monotone, and assigned at Append.
+// They order recovery (latest seq per key wins) and key the
+// anti-entropy protocol: a rejoining worker asks peers for "everything
+// since seq N" and N is meaningful because each store's log is a total
+// order of its own commits.
+//
+// Appends are group-committed exactly like the alert log: Append
+// enqueues and returns, a single committer drains whatever accumulated
+// into one write+fsync, and Sync() is the durability barrier. A crash
+// can leave a torn tail; reopening truncates it (a torn frame was never
+// acknowledged durable to anyone). Snapshots are written to a temp file
+// and fsync-renamed into place, so a crash mid-cutover leaves the old
+// snapshot intact — the crash-recovery tests cut files at every
+// interesting byte to prove both properties.
+package vstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+
+	"idnlab/internal/api"
+	"idnlab/internal/core"
+)
+
+const (
+	logMagic  = "IDNVLOG1"
+	snapMagic = "IDNVSNP1"
+	// maxFrame bounds one verdict payload; anything larger in a file is
+	// corruption, not data, and recovery stops there.
+	maxFrame = 1 << 20
+
+	logHeaderSize  = 8 + 8 // magic + u64le baseSeq
+	snapHeaderSize = 8 + 8 + 4
+	frameHeader    = 8 // u32le len + u32le crc
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Record is one committed verdict with its store-local sequence number.
+// The verdict's Domain (normalized ACE) is the cache/partition key.
+type Record struct {
+	Seq     uint64
+	Verdict core.Verdict
+}
+
+// Config parameterizes a Store. Only Dir is required.
+type Config struct {
+	// Dir is the store directory (created if missing).
+	Dir string
+	// CompactBytes triggers snapshot compaction when the active log
+	// exceeds this size (default 8 MiB; < 0 disables compaction).
+	CompactBytes int64
+	// NoFsync turns every fsync into a no-op. Test-only: crash-recovery
+	// and churn tests cycle through hundreds of throwaway stores where
+	// physical durability is irrelevant. Production never sets it.
+	NoFsync bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.CompactBytes == 0 {
+		c.CompactBytes = 8 << 20
+	}
+	return c
+}
+
+// Stats is the store's /metrics contribution.
+type Stats struct {
+	Loaded          bool   `json:"loaded"`
+	Dir             string `json:"dir,omitempty"`
+	Seq             uint64 `json:"seq"`
+	DurableSeq      uint64 `json:"durableSeq"`
+	Appends         uint64 `json:"appends"`
+	Commits         uint64 `json:"commits"`
+	MaxBatch        int    `json:"maxBatch"`
+	LogBytes        int64  `json:"logBytes"`
+	WarmBootEntries int    `json:"warmBootEntries"`
+	Snapshots       uint64 `json:"snapshots"`
+	SnapshotSeq     uint64 `json:"snapshotSeq"`
+	SnapshotEntries int    `json:"snapshotEntries"`
+	CompactErrors   uint64 `json:"compactErrors"`
+	EncodeErrors    uint64 `json:"encodeErrors"`
+	LastError       string `json:"lastError,omitempty"`
+}
+
+// appendRecord encodes (seq, verdict) as a frame payload.
+func appendRecord(dst []byte, seq uint64, v core.Verdict) ([]byte, error) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], seq)
+	dst = append(dst, b[:]...)
+	resp := api.DetectResponse{Verdict: v, Flagged: v.Flagged()}
+	return api.AppendDetectResponse(dst, &resp)
+}
+
+// decodeRecord parses a frame payload produced by appendRecord.
+func decodeRecord(payload []byte) (Record, error) {
+	if len(payload) < 9 {
+		return Record{}, fmt.Errorf("vstore: record payload %d bytes, want >= 9", len(payload))
+	}
+	seq := binary.LittleEndian.Uint64(payload)
+	resp, err := api.DecodeDetectResponseBytes(payload[8:])
+	if err != nil {
+		return Record{}, fmt.Errorf("vstore: record seq %d: %w", seq, err)
+	}
+	return Record{Seq: seq, Verdict: resp.Verdict}, nil
+}
+
+// appendFrame wraps payload in the u32len+CRC32C frame header.
+func appendFrame(dst, payload []byte) []byte {
+	var hdr [frameHeader]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.Checksum(payload, crcTable))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+// scanFrames walks frames in buf, calling fn with each valid payload.
+// It returns the byte offset just past the last valid frame — the
+// torn-tail truncation point when scanning a log tail.
+func scanFrames(buf []byte, fn func(payload []byte) error) (int64, error) {
+	off := 0
+	for {
+		if len(buf)-off < frameHeader {
+			return int64(off), nil // clean EOF or torn header
+		}
+		n := binary.LittleEndian.Uint32(buf[off:])
+		sum := binary.LittleEndian.Uint32(buf[off+4:])
+		if n == 0 || n > maxFrame {
+			return int64(off), nil
+		}
+		if len(buf)-off-frameHeader < int(n) {
+			return int64(off), nil // torn payload
+		}
+		payload := buf[off+frameHeader : off+frameHeader+int(n)]
+		if crc32.Checksum(payload, crcTable) != sum {
+			return int64(off), nil
+		}
+		if err := fn(payload); err != nil {
+			return int64(off), err
+		}
+		off += frameHeader + int(n)
+	}
+}
+
+func (s *Store) syncFile(f *os.File) error {
+	if s.cfg.NoFsync {
+		return nil
+	}
+	return f.Sync()
+}

@@ -1,0 +1,138 @@
+#!/bin/sh
+# store_smoke.sh — durable-store smoke for the cluster tier: boots
+# idngateway plus three idnserve workers with per-node warm logs
+# (-store), warms the fleet with a zipfian load, SIGKILLs one worker
+# mid-stream, restarts it on the same store directory while the load is
+# still running, and asserts the restart story end to end:
+#
+#   - zero non-429 client-visible errors across the kill + rejoin
+#     (error-rate: 0.00% from idnload's run report),
+#   - the restarted worker warm-boots a non-empty verdict set from the
+#     log that survived the SIGKILL,
+#   - the cold-miss budget holds, asserted from /metrics (idnload's
+#     post-run store report aggregates the workers' store blocks via
+#     the gateway): repair misses — probes that found no warm copy on
+#     any candidate and fell through to a recompute — stay within
+#     MISS_BUDGET_PCT of total requests (DESIGN.md §16 derives the
+#     bound from the replication interval and sync cadence),
+#   - all three nodes report durable stores after the roll,
+#   - clean SIGTERM drains close every log.
+#
+# Run via `make store-smoke`.
+set -eu
+
+GO=${GO:-go}
+MISS_BUDGET_PCT=${MISS_BUDGET_PCT:-5.0}
+TMP=$(mktemp -d)
+PIDS=""
+cleanup() {
+    for p in $PIDS; do kill "$p" 2>/dev/null || true; done
+    rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+echo "store-smoke: building binaries..."
+"$GO" build -o "$TMP/idnserve" ./cmd/idnserve
+"$GO" build -o "$TMP/idngateway" ./cmd/idngateway
+"$GO" build -o "$TMP/idnload" ./cmd/idnload
+
+# wait_line FILE PATTERN PID NAME — poll for a readiness line.
+wait_line() {
+    _file=$1; _pat=$2; _pid=$3; _name=$4
+    for i in $(seq 1 100); do
+        if grep -q "$_pat" "$_file" 2>/dev/null; then return 0; fi
+        kill -0 "$_pid" 2>/dev/null || { echo "store-smoke: $_name died:"; cat "$_file"; exit 1; }
+        sleep 0.1
+    done
+    echo "store-smoke: $_name never became ready:"; cat "$_file"; exit 1
+}
+
+# start_worker ID LOGFILE — boot one durable worker on its store dir.
+start_worker() {
+    _id=$1; _log=$2
+    "$TMP/idnserve" -listen 127.0.0.1:0 -brands 1000 -node "$_id" -join "$GWADDR" \
+        -store "$TMP/store-$_id" -sync-interval 500ms >"$_log" 2>&1 &
+    _pid=$!
+    PIDS="$PIDS $_pid"
+    wait_line "$_log" "^idnserve: listening on" "$_pid" "$_id"
+    eval "${_id}_PID=$_pid"
+}
+
+"$TMP/idngateway" -listen 127.0.0.1:0 -heartbeat 200ms -min-ready 3 >"$TMP/gateway.log" 2>&1 &
+GW=$!
+PIDS="$GW"
+wait_line "$TMP/gateway.log" "^idngateway: listening on" "$GW" "idngateway"
+GWADDR=$(sed -n 's/^idngateway: listening on \([^ ]*\).*/\1/p' "$TMP/gateway.log")
+echo "store-smoke: gateway up at $GWADDR"
+
+start_worker w1 "$TMP/w1.log"
+start_worker w2 "$TMP/w2.log"
+start_worker w3 "$TMP/w3.log"
+wait_line "$TMP/gateway.log" "^idngateway: serving 3 workers" "$GW" "idngateway quorum"
+grep -q "store $TMP/store-w1: recovered 0 verdicts" "$TMP/w1.log" || {
+    echo "store-smoke: w1 cold boot did not report an empty store:"; cat "$TMP/w1.log"; exit 1; }
+echo "store-smoke: 3 durable workers joined (cold boot)"
+
+# Warm the fleet: zipfian load through the gateway fills every worker's
+# cache partition and, via write-through, its warm log.
+"$TMP/idnload" -addr "$GWADDR" -duration 3s -concurrency 24 >"$TMP/warm.log" 2>&1 || {
+    echo "store-smoke: warm phase failed:"; cat "$TMP/warm.log"; exit 1; }
+grep -q "error-rate: 0.00%" "$TMP/warm.log" || {
+    echo "store-smoke: errors during warm phase:"; cat "$TMP/warm.log"; exit 1; }
+echo "store-smoke: fleet warmed"
+
+# Live load with a mid-stream SIGKILL and a warm restart on the same
+# store directory — the drill the subsystem exists for.
+"$TMP/idnload" -addr "$GWADDR" -duration 8s -concurrency 24 >"$TMP/load.log" 2>&1 &
+LOAD=$!
+sleep 2
+kill -KILL "$w1_PID"
+PIDS="$GW $w2_PID $w3_PID"
+echo "store-smoke: killed worker w1 (SIGKILL) under live load"
+sleep 1
+start_worker w1 "$TMP/w1b.log"
+echo "store-smoke: restarted w1 on its old store directory"
+grep -q "store $TMP/store-w1: recovered [1-9]" "$TMP/w1b.log" || {
+    echo "store-smoke: w1 rebooted cold — the warm log did not survive the SIGKILL:"
+    cat "$TMP/w1b.log"; exit 1; }
+
+STATUS=0; wait "$LOAD" || STATUS=$?
+cat "$TMP/load.log"
+[ "$STATUS" -eq 0 ] || { echo "store-smoke: load exited $STATUS"; exit 1; }
+grep -q "error-rate: 0.00%" "$TMP/load.log" || {
+    echo "store-smoke: non-429 client errors during kill + warm restart"; exit 1; }
+
+# Budget assertions from /metrics (idnload's post-run store report is a
+# scrape of every worker's store block through the gateway).
+grep -q "^store: durable-nodes=3 " "$TMP/load.log" || {
+    echo "store-smoke: gateway does not see 3 durable nodes after the roll"; exit 1; }
+WARM_BOOT=$(sed -n 's/^store: .*warm-boot=\([0-9]*\).*/\1/p' "$TMP/load.log" | tail -1)
+[ -n "$WARM_BOOT" ] && [ "$WARM_BOOT" -gt 0 ] || {
+    echo "store-smoke: no warm-boot entries registered cluster-wide"; exit 1; }
+MISSES=$(sed -n 's/^store: .*repair-misses=\([0-9]*\).*/\1/p' "$TMP/load.log" | tail -1)
+REQUESTS=$(sed -n 's/^idnload: \([0-9]*\) requests.*/\1/p' "$TMP/load.log" | tail -1)
+[ -n "$MISSES" ] && [ -n "$REQUESTS" ] || {
+    echo "store-smoke: could not extract cold-miss numbers from the store report"; exit 1; }
+awk "BEGIN { exit !($MISSES <= $REQUESTS * $MISS_BUDGET_PCT / 100) }" || {
+    echo "store-smoke: FAIL — $MISSES cold misses over $REQUESTS requests exceeds the $MISS_BUDGET_PCT% budget"
+    exit 1; }
+echo "store-smoke: cold-miss budget held ($MISSES cold misses / $REQUESTS requests, budget $MISS_BUDGET_PCT%)"
+
+# Graceful teardown: every worker (including the resurrected one) and
+# the gateway must drain clean, closing their logs.
+for name in w1 w2 w3; do
+    eval "_pid=\$${name}_PID"
+    kill -TERM "$_pid"
+    STATUS=0; wait "$_pid" || STATUS=$?
+    _log="$TMP/$name.log"
+    [ "$name" = w1 ] && _log="$TMP/w1b.log"
+    [ "$STATUS" -eq 0 ] || { echo "store-smoke: $name exited $STATUS:"; cat "$_log"; exit 1; }
+    grep -q "drained cleanly" "$_log" || { echo "store-smoke: $name no clean-drain marker:"; cat "$_log"; exit 1; }
+done
+kill -TERM "$GW"
+STATUS=0; wait "$GW" || STATUS=$?
+PIDS=""
+[ "$STATUS" -eq 0 ] || { echo "store-smoke: gateway exited $STATUS:"; cat "$TMP/gateway.log"; exit 1; }
+grep -q "drained cleanly" "$TMP/gateway.log" || { echo "store-smoke: gateway no clean-drain marker:"; cat "$TMP/gateway.log"; exit 1; }
+
+echo "store-smoke: ok (SIGKILL + warm restart under load, cold-miss budget, clean drains)"
